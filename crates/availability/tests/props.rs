@@ -1,0 +1,65 @@
+//! Property tests for the goodput/availability models.
+
+use lightwave_availability::{
+    at_least_k_of_n, cube_availability, fabric_availability, reconfigurable_goodput, static_goodput,
+};
+use lightwave_units::Availability;
+use proptest::prelude::*;
+
+/// Slice sizes that tile the 64-cube pod.
+fn pod_divisor() -> impl Strategy<Value = usize> {
+    proptest::sample::select(vec![1usize, 2, 4, 8, 16, 32])
+}
+
+proptest! {
+    #[test]
+    fn static_never_beats_reconfigurable_anywhere(
+        slice_cubes in pod_divisor(),
+        server in 0.95f64..0.9999,
+        target in 0.8f64..0.999,
+    ) {
+        let ca = cube_availability(Availability::new(server));
+        let r = reconfigurable_goodput(slice_cubes, ca, target);
+        let s = static_goodput(slice_cubes, ca, target);
+        prop_assert!(s <= r + 1e-12, "static {s} > reconfigurable {r}");
+        prop_assert!((0.0..=1.0).contains(&r));
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn goodput_monotone_in_cube_availability(
+        slice_cubes in 1usize..=16,
+        a1 in 0.7f64..0.99,
+        da in 0.001f64..0.01,
+    ) {
+        let g1 = reconfigurable_goodput(slice_cubes, Availability::new(a1), 0.97);
+        let g2 = reconfigurable_goodput(slice_cubes, Availability::new(a1 + da), 0.97);
+        prop_assert!(g2 + 1e-12 >= g1);
+    }
+
+    #[test]
+    fn goodput_anti_monotone_in_target(
+        slice_cubes in 1usize..=16,
+        t1 in 0.8f64..0.95,
+        dt in 0.001f64..0.04,
+    ) {
+        let ca = cube_availability(Availability::new(0.995));
+        let strict = reconfigurable_goodput(slice_cubes, ca, t1 + dt);
+        let loose = reconfigurable_goodput(slice_cubes, ca, t1);
+        prop_assert!(strict <= loose + 1e-12, "a stricter target cannot allow more goodput");
+    }
+
+    #[test]
+    fn fabric_availability_multiplies(a in 0.99f64..0.99999, n in 1u32..100) {
+        let f = fabric_availability(Availability::new(a), n);
+        prop_assert!((f.prob() - a.powi(n as i32)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn at_least_k_of_n_is_a_probability_and_monotone(n in 1u64..80, k in 1u64..80, p in 0.0f64..=1.0) {
+        prop_assume!(k <= n);
+        let t = at_least_k_of_n(n, k, p);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&t));
+        prop_assert!(at_least_k_of_n(n, k - 1, p) + 1e-12 >= t);
+    }
+}

@@ -1,0 +1,105 @@
+//! OCS and fabric-transaction benchmarks.
+//!
+//! The control plane must plan and validate fabric-wide transactions fast
+//! (milliseconds of software against milliseconds of mirror settle); these
+//! benches keep the delta planner, the full-pod composition, and the
+//! optical-core census honest.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lightwave_core::ocs::loss::OpticalCore;
+use lightwave_core::ocs::{Crossbar, PalomarOcs, PortMapping};
+use lightwave_core::superpod::slice::{Slice, SliceShape};
+use lightwave_core::superpod::Superpod;
+use std::hint::black_box;
+
+fn crossbar_delta(c: &mut Criterion) {
+    let mut xb = Crossbar::new(136);
+    for i in 0..128u16 {
+        xb.connect(i, (i * 7 + 3) % 136).unwrap();
+    }
+    // Target: move half the circuits.
+    let target = PortMapping::from_pairs((0..128u16).map(|i| {
+        (
+            i,
+            if i % 2 == 0 {
+                (i * 7 + 3) % 136
+            } else {
+                (i * 11 + 5) % 136
+            },
+        )
+    }))
+    .unwrap();
+    c.bench_function("crossbar_delta_128_circuits", |b| {
+        b.iter(|| black_box(xb.delta_to(black_box(&target))))
+    });
+}
+
+fn ocs_apply_mapping(c: &mut Criterion) {
+    let target = PortMapping::from_pairs((0..64u16).map(|i| (i, i + 64))).unwrap();
+    c.bench_function("ocs_apply_mapping_64", |b| {
+        b.iter_batched(
+            || PalomarOcs::new(0, 42),
+            |mut ocs| {
+                ocs.apply_mapping(&target).expect("valid");
+                black_box(ocs)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn optical_census(c: &mut Criterion) {
+    let core = OpticalCore::fabricate(136, 7);
+    c.bench_function("insertion_loss_census_136x136", |b| {
+        b.iter(|| black_box(core.insertion_loss_census()))
+    });
+}
+
+fn pod_compose_full(c: &mut Criterion) {
+    c.bench_function("superpod_compose_4096_chips", |b| {
+        b.iter_batched(
+            || Superpod::new(1),
+            |mut pod| {
+                let slice =
+                    Slice::new(SliceShape::new(16, 16, 16).unwrap(), (0..64).collect()).unwrap();
+                pod.compose(slice).expect("empty pod");
+                black_box(pod)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn pod_incremental_slice(c: &mut Criterion) {
+    c.bench_function("superpod_add_256_chip_slice", |b| {
+        b.iter_batched(
+            || {
+                let mut pod = Superpod::new(2);
+                // Pre-existing load: 32 cubes in 4 slices.
+                for k in 0..4u8 {
+                    let cubes: Vec<u8> = (k * 8..k * 8 + 8).collect();
+                    pod.compose(Slice::new(SliceShape::new(8, 8, 8).unwrap(), cubes).unwrap())
+                        .unwrap();
+                }
+                pod
+            },
+            |mut pod| {
+                let cubes: Vec<u8> = (40..44).collect();
+                pod.compose(Slice::new(SliceShape::new(16, 4, 4).unwrap(), cubes).unwrap())
+                    .expect("fits");
+                black_box(pod)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    crossbar_delta,
+    ocs_apply_mapping,
+    optical_census,
+    pod_compose_full,
+    pod_incremental_slice
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Reproduces the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p lightwave-bench --release --bin repro            # everything
+//! cargo run -p lightwave-bench --release --bin repro fig11 tab2 # a subset
+//! cargo run -p lightwave-bench --release --bin repro -- --quick # fast pass
+//! ```
+
+use lightwave_bench::{run, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for id in ALL_EXPERIMENTS {
+            let r = run(id, true).expect("registry is consistent");
+            println!("{:<9} {}", r.id, r.title);
+        }
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let requested: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let ids: Vec<&str> = if requested.is_empty() {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        requested
+    };
+
+    let mut failures = 0usize;
+    for id in ids {
+        match run(id, quick) {
+            Some(result) => {
+                println!("{}", result.render());
+                if !result.passed() {
+                    failures += 1;
+                }
+            }
+            None => {
+                eprintln!("unknown experiment: {id} (known: {ALL_EXPERIMENTS:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) had failing checks");
+        std::process::exit(1);
+    }
+    println!("all experiment checks passed");
+}

@@ -1,0 +1,703 @@
+//! Implementations of every reproduced table and figure.
+
+use crate::{Check, ExperimentResult};
+use lightwave_core::availability as avail;
+use lightwave_core::dcn::cost::{spine_free_savings, table1, CostBook, SuperpodFabric};
+use lightwave_core::dcn::TrafficMatrix;
+use lightwave_core::fec::analysis::{concatenation_gain, paper_equivalent_inner_threshold};
+use lightwave_core::fec::ConcatenatedCode;
+use lightwave_core::mlperf::{LlmConfig, SliceOptimizer};
+use lightwave_core::ocs::chassis::Chassis;
+use lightwave_core::ocs::loss::{OpticalCore, RETURN_LOSS_SPEC_DB};
+use lightwave_core::ocs::tech::{select, table_c1, Requirements};
+use lightwave_core::ocs::PalomarOcs;
+use lightwave_core::optics::ber::{mpi_db, OimConfig, Pam4Receiver};
+use lightwave_core::optics::montecarlo::simulate_ber_seeded;
+use lightwave_core::scheduler::deployment::DeploymentPlan;
+use lightwave_core::scheduler::sim::default_mix;
+use lightwave_core::scheduler::{ClusterSim, Contiguous, Pooled};
+use lightwave_core::transceiver::fleet::{fleet_census, POD_RX_PORTS};
+use lightwave_core::transceiver::ModuleFamily;
+use lightwave_core::units::{Availability, Ber, Dbm, Nanos};
+use lightwave_core::{DcnPlanner, LinkDesigner};
+
+/// Fig. 10a — OCS insertion-loss histogram over all 136×136 paths.
+pub fn fig10a() -> ExperimentResult {
+    let core = OpticalCore::fabricate(136, 7);
+    let census = core.insertion_loss_census();
+    let n = census.len() as f64;
+    let mean = census.iter().sum::<f64>() / n;
+    let under2 = census.iter().filter(|&&l| l < 2.0).count() as f64 / n;
+    let max = census.iter().fold(0.0f64, |a, &b| a.max(b));
+
+    let mut lines = vec![format!(
+        "insertion loss over {} cross-connections: mean {:.2} dB, max {:.2} dB, {:.1}% < 2 dB",
+        census.len(),
+        mean,
+        max,
+        under2 * 100.0
+    )];
+    lines.push("histogram (0.25 dB bins):".into());
+    let mut bins = [0usize; 20];
+    for &l in &census {
+        let b = ((l / 0.25) as usize).min(19);
+        bins[b] += 1;
+    }
+    for (i, &count) in bins.iter().enumerate() {
+        if count > 0 {
+            let bar = "#".repeat((count as f64 / n * 250.0).ceil() as usize);
+            lines.push(format!(
+                "  {:>4.2}-{:<4.2} dB | {:>6} {}",
+                i as f64 * 0.25,
+                (i + 1) as f64 * 0.25,
+                count,
+                bar
+            ));
+        }
+    }
+    ExperimentResult {
+        id: "fig10a",
+        title: "Palomar OCS insertion-loss histogram (136×136 paths)",
+        lines,
+        checks: vec![
+            Check::holds("typical loss", "< 2 dB for most paths", under2 > 0.85),
+            Check::abs("mean path loss (dB)", 1.6, mean, 0.4),
+            Check::holds(
+                "splice/connector tail",
+                "present but bounded",
+                max > 2.5 && max < 4.5,
+            ),
+        ],
+    }
+}
+
+/// Fig. 10b — return loss versus port number.
+pub fn fig10b() -> ExperimentResult {
+    let core = OpticalCore::fabricate(136, 3);
+    let mut all = Vec::new();
+    for p in 0..136 {
+        all.push(core.return_loss_north(p).db());
+        all.push(core.return_loss_south(p).db());
+    }
+    let mean = all.iter().sum::<f64>() / all.len() as f64;
+    let worst = all.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+    let lines = vec![
+        format!(
+            "return loss across {} ports: mean {:.1} dB, worst {:.1} dB",
+            all.len(),
+            mean,
+            worst
+        ),
+        format!("specification: ≤ {RETURN_LOSS_SPEC_DB} dB; typical −46 dB"),
+    ];
+    ExperimentResult {
+        id: "fig10b",
+        title: "Palomar OCS return loss vs port",
+        lines,
+        checks: vec![
+            Check::abs("mean return loss (dB)", -46.0, mean, 1.5),
+            Check::holds(
+                "spec compliance",
+                "every port ≤ −38 dB",
+                worst <= RETURN_LOSS_SPEC_DB,
+            ),
+        ],
+    }
+}
+
+/// Fig. 11 — BER vs received power under MPI, with and without OIM.
+pub fn fig11(quick: bool) -> ExperimentResult {
+    let rx = Pam4Receiver::cwdm4_50g();
+    let oim = OimConfig::default();
+    let mpis: [(&str, f64); 4] = [
+        ("no MPI", 0.0),
+        ("-38 dB", mpi_db(-38.0)),
+        ("-32 dB", mpi_db(-32.0)),
+        ("-26 dB", mpi_db(-26.0)),
+    ];
+    let mut lines =
+        vec!["analytic BER vs received power (rows: dBm; per MPI: without OIM / with OIM)".into()];
+    let mut header = String::from("  dBm  ");
+    for (name, _) in &mpis {
+        header.push_str(&format!("| {name:>18} "));
+    }
+    lines.push(header);
+    for p10 in (-16..=-7).map(|p| p as f64) {
+        let mut row = format!("  {p10:>4} ");
+        for &(_, m) in &mpis {
+            let b0 = rx.ber(Dbm(p10), m, None);
+            let b1 = rx.ber(Dbm(p10), m, Some(oim));
+            row.push_str(&format!("| {:>8.1e} {:>8.1e} ", b0.prob(), b1.prob()));
+        }
+        lines.push(row);
+    }
+
+    // Sensitivities at the KP4 threshold.
+    let s_clean = rx
+        .sensitivity(Ber::KP4_THRESHOLD, 0.0, None)
+        .expect("clean link reaches 2e-4");
+    let s32_no = rx
+        .sensitivity(Ber::KP4_THRESHOLD, mpi_db(-32.0), None)
+        .expect("reaches");
+    let s32_oim = rx
+        .sensitivity(Ber::KP4_THRESHOLD, mpi_db(-32.0), Some(oim))
+        .expect("reaches");
+    let s26_no = rx.sensitivity(Ber::KP4_THRESHOLD, mpi_db(-26.0), None);
+    let oim_gain = (s32_no - s32_oim).db();
+    lines.push(format!(
+        "sensitivity @2e-4: clean {s_clean}, MPI -32 dB without OIM {s32_no}, with OIM {s32_oim} (gain {oim_gain:.2} dB)"
+    ));
+    lines.push(format!(
+        "MPI -26 dB without OIM: {}",
+        match s26_no {
+            Some(s) => format!("{s}"),
+            None => "BER floor above 2e-4 (unreachable)".into(),
+        }
+    ));
+
+    // Monte-Carlo cross-check (the figure's "BER: Monte Carlo" panel).
+    let symbols = if quick { 300_000 } else { 3_000_000 };
+    let p_chk = Dbm(-12.5);
+    let analytic = rx.ber(p_chk, mpi_db(-32.0), None).prob();
+    let mc = simulate_ber_seeded(&rx, p_chk, mpi_db(-32.0), None, symbols, 42)
+        .ber
+        .prob();
+    lines.push(format!(
+        "Monte-Carlo cross-check at {p_chk}, MPI -32 dB: analytic {analytic:.2e}, simulated {mc:.2e}"
+    ));
+
+    ExperimentResult {
+        id: "fig11",
+        title: "Receiver BER vs power under MPI, ± OIM (50G PAM4 lane)",
+        lines,
+        checks: vec![
+            Check::holds(
+                "OIM gain at MPI −32 dB",
+                "> 1 dB (§4.1.2)",
+                oim_gain > 1.0 && oim_gain < 4.0,
+            ),
+            Check::holds(
+                "MPI −26 dB floor",
+                "uncorrectable without OIM",
+                s26_no.is_none(),
+            ),
+            Check::holds(
+                "Monte Carlo vs analytic",
+                "agree within 2×",
+                mc / analytic > 0.5 && mc / analytic < 2.0,
+            ),
+        ],
+    }
+}
+
+/// Fig. 12 — receiver sensitivity improvement from the concatenated SFEC.
+pub fn fig12(quick: bool) -> ExperimentResult {
+    let code = ConcatenatedCode::default();
+    let rx = Pam4Receiver::cwdm4_50g();
+    let blocks = if quick { 1_500 } else { 12_000 };
+
+    let mut lines = Vec::new();
+    let mut gain38 = 0.0;
+    let mut gain32 = 0.0;
+    for (name, m) in [("-38 dB", mpi_db(-38.0)), ("-32 dB", mpi_db(-32.0))] {
+        let g = concatenation_gain(&code, &rx, m, blocks, 5).expect("link reaches both thresholds");
+        lines.push(format!(
+            "MPI {name}: inner-code raw threshold {} → sensitivity {} (vs {} plain KP4): gain {:.2} dB",
+            g.inner_threshold, g.sensitivity_concat, g.sensitivity_plain, g.gain.db()
+        ));
+        if name == "-32 dB" {
+            gain32 = g.gain.db();
+        } else {
+            gain38 = g.gain.db();
+        }
+    }
+    // The paper's production code at its published 1.6 dB operating point,
+    // evaluated on the clean (thermal-limited) link where the operating-
+    // point definition lives; under MPI our link model's interference
+    // floor amplifies the delivered gain beyond the intrinsic figure.
+    let paper_thr = paper_equivalent_inner_threshold();
+    let s_plain = rx
+        .sensitivity(Ber::KP4_THRESHOLD, 0.0, None)
+        .expect("reaches");
+    let s_paper = rx.sensitivity(paper_thr, 0.0, None).expect("reaches");
+    let paper_gain = (s_plain - s_paper).db();
+    lines.push(format!(
+        "paper-calibrated inner code (threshold {paper_thr}), clean link: gain {paper_gain:.2} dB (published: 1.6 dB / 45%)"
+    ));
+    lines.push(
+        "note: our open Chase-decoded Hamming(128,120) is the same family as (and close to) \
+         the proprietary inner code; at −32 dB MPI our link model's interference floor \
+         amplifies the gain beyond the published 1.6 dB (DESIGN.md §5.3)"
+            .into(),
+    );
+
+    ExperimentResult {
+        id: "fig12",
+        title: "Concatenated SFEC sensitivity gain",
+        lines,
+        checks: vec![
+            Check::abs("open inner code gain at −38 dB MPI (dB)", 1.6, gain38, 0.35),
+            Check::holds(
+                "open inner code gain at −32 dB MPI",
+                "larger than at −38 dB (floor proximity), 1.6–3 dB",
+                gain32 > gain38 && (1.6..3.0).contains(&gain32),
+            ),
+            Check::abs("paper-calibrated gain (dB)", 1.6, paper_gain, 0.3),
+        ],
+    }
+}
+
+/// Fig. 13 — fleet per-lane BER census.
+pub fn fig13(quick: bool) -> ExperimentResult {
+    let ports = if quick { 600 } else { POD_RX_PORTS };
+    let census = fleet_census(ports, ModuleFamily::Cwdm4Bidi, 42);
+    let mut bers: Vec<f64> = census.samples.iter().map(|s| s.ber.prob()).collect();
+    bers.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let pct = |q: f64| bers[((bers.len() - 1) as f64 * q) as usize];
+    let lines = vec![
+        format!(
+            "{} lanes across {} receiving ports (CWDM4 bidi, OIM + SFEC active)",
+            census.samples.len(),
+            ports
+        ),
+        format!(
+            "BER percentiles: p1 {:.1e}  p50 {:.1e}  p99 {:.1e}  max {:.1e}",
+            pct(0.01),
+            pct(0.5),
+            pct(0.99),
+            bers.last().copied().unwrap_or(0.0)
+        ),
+        format!(
+            "KP4 threshold 2e-4: {} violations; median margin {:.2} orders of magnitude",
+            census.violations, census.median_margin_orders
+        ),
+    ];
+    ExperimentResult {
+        id: "fig13",
+        title: "Production-link BER census (per-lane, pod scale)",
+        lines,
+        checks: vec![
+            Check::holds(
+                "KP4 compliance",
+                "every lane < 2e-4",
+                census.violations == 0,
+            ),
+            Check::abs(
+                "median margin (orders of magnitude)",
+                2.0,
+                census.median_margin_orders,
+                0.6,
+            ),
+        ],
+    }
+}
+
+/// Table 1 — superpod interconnect cost/power, normalized to static.
+pub fn tab1() -> ExperimentResult {
+    let rows = table1(&CostBook::default());
+    let name = |k| match k {
+        SuperpodFabric::EpsDcn => "DCN (EPS)",
+        SuperpodFabric::Lightwave => "Lightwave",
+        SuperpodFabric::Static => "Static",
+    };
+    let mut lines = vec!["fabric       | rel. cost | rel. power".into()];
+    for (k, c, p) in rows {
+        lines.push(format!("{:<12} | {:>8.2}x | {:>9.2}x", name(k), c, p));
+    }
+    let find = |kk: SuperpodFabric| rows.iter().find(|r| r.0 == kk).copied().expect("present");
+    let (_, c_e, p_e) = find(SuperpodFabric::EpsDcn);
+    let (_, c_l, p_l) = find(SuperpodFabric::Lightwave);
+    ExperimentResult {
+        id: "tab1",
+        title: "Cost and power of three 4096-TPU interconnects",
+        lines,
+        checks: vec![
+            Check::abs("DCN relative cost", 1.24, c_e, 0.02),
+            Check::abs("DCN relative power", 1.10, p_e, 0.02),
+            Check::abs("lightwave relative cost", 1.06, c_l, 0.01),
+            Check::abs("lightwave relative power", 1.01, p_l, 0.005),
+        ],
+    }
+}
+
+/// Table 2 — optimal slice shapes and speedups for three LLMs.
+pub fn tab2() -> ExperimentResult {
+    let opt = SliceOptimizer::tpu_v4();
+    let mut lines = vec!["model | params | optimal config | speedup vs 16x16x16 (paper)".into()];
+    let paper: [(&str, [usize; 3], f64); 3] = [
+        ("LLM0", [8, 16, 32], 1.54),
+        ("LLM1", [4, 4, 256], 3.32),
+        ("LLM2", [16, 16, 16], 1.00),
+    ];
+    let mut checks = Vec::new();
+    for (model, (pname, pshape, pspeed)) in LlmConfig::table2().iter().zip(paper) {
+        let r = opt.optimize(model, 4096).expect("feasible");
+        lines.push(format!(
+            "{} | {:>4.0}B | {:>2}x{:>2}x{:<3} | {:.2}x ({:.2}x)",
+            model.name,
+            model.params / 1e9,
+            r.shape.chips[0],
+            r.shape.chips[1],
+            r.shape.chips[2],
+            r.speedup_vs_baseline,
+            pspeed
+        ));
+        checks.push(Check::holds(
+            &format!("{pname} optimal shape"),
+            &format!("{}x{}x{}", pshape[0], pshape[1], pshape[2]),
+            r.shape.chips == pshape,
+        ));
+        checks.push(Check::rel(
+            &format!("{pname} speedup"),
+            pspeed,
+            r.speedup_vs_baseline,
+            0.15,
+        ));
+    }
+    ExperimentResult {
+        id: "tab2",
+        title: "LLM slice-shape optimization (4096 chips)",
+        lines,
+        checks,
+    }
+}
+
+/// Fig. 15a — fabric availability vs OCS availability per transceiver tech.
+pub fn fig15a() -> ExperimentResult {
+    let techs = [
+        ("CWDM4 duplex (96 OCS)", 96u32),
+        ("CWDM4 bidi   (48 OCS)", 48),
+        ("CWDM8 bidi   (24 OCS)", 24),
+    ];
+    let mut lines = vec!["OCS avail | 96 OCS | 48 OCS | 24 OCS".into()];
+    for a in [0.995, 0.998, 0.999, 0.9995, 0.9999] {
+        let f = |n| avail::fabric_availability(Availability::new(a), n).prob();
+        lines.push(format!(
+            "{:>8.4} | {:.4} | {:.4} | {:.4}",
+            a,
+            f(96),
+            f(48),
+            f(24)
+        ));
+    }
+    let at999 = |n| avail::fabric_availability(Availability::new(0.999), n).prob();
+    let mut checks = vec![];
+    for ((name, n), paper) in techs.iter().zip([0.90, 0.95, 0.98]) {
+        checks.push(Check::abs(
+            &format!("fabric availability, {name} @ 99.9% OCS"),
+            paper,
+            at999(*n),
+            0.01,
+        ));
+    }
+    ExperimentResult {
+        id: "fig15a",
+        title: "Fabric availability vs per-OCS availability",
+        lines,
+        checks,
+    }
+}
+
+/// Fig. 15b — goodput vs server availability, static vs reconfigurable.
+pub fn fig15b() -> ExperimentResult {
+    let sizes = [64usize, 128, 256, 512, 1024, 2048];
+    let servers = [0.99, 0.995, 0.999];
+    let pts = avail::fig15b_sweep(&sizes, &servers, avail::SYSTEM_TARGET);
+    let mut lines = vec!["slice | server avail | reconfigurable | static".into()];
+    for p in &pts {
+        lines.push(format!(
+            "{:>5} | {:>11.3} | {:>13.1}% | {:>5.1}%",
+            p.slice_chips,
+            p.server_avail,
+            p.reconfigurable * 100.0,
+            p.static_fabric * 100.0
+        ));
+    }
+    let at = |chips: usize, sa: f64| {
+        pts.iter()
+            .find(|p| p.slice_chips == chips && (p.server_avail - sa).abs() < 1e-12)
+            .expect("swept")
+    };
+    ExperimentResult {
+        id: "fig15b",
+        title: "Goodput vs server availability at 97% system target",
+        lines,
+        checks: vec![
+            Check::abs(
+                "1024-slice @99.9%: reconfigurable",
+                0.75,
+                at(1024, 0.999).reconfigurable,
+                1e-9,
+            ),
+            Check::abs(
+                "1024-slice @99.9%: static",
+                0.25,
+                at(1024, 0.999).static_fabric,
+                1e-9,
+            ),
+            Check::abs(
+                "1024-slice @99.5% converges",
+                0.75,
+                at(1024, 0.995).reconfigurable,
+                1e-9,
+            ),
+            Check::abs(
+                "1024-slice @99%: two slices",
+                0.50,
+                at(1024, 0.99).reconfigurable,
+                1e-9,
+            ),
+            Check::holds(
+                "2048-slice regardless of server availability",
+                "50% (one slice)",
+                servers
+                    .iter()
+                    .all(|&sa| (at(2048, sa).reconfigurable - 0.5).abs() < 1e-9),
+            ),
+            Check::holds(
+                "single-cube slices",
+                "static == reconfigurable",
+                servers
+                    .iter()
+                    .all(|&sa| at(64, sa).reconfigurable == at(64, sa).static_fabric),
+            ),
+        ],
+    }
+}
+
+/// §2.1 / Fig. 1 — spine-free capex and power savings.
+pub fn dcn1() -> ExperimentResult {
+    let (capex, power) = spine_free_savings(&CostBook::default());
+    let lines = vec![format!(
+        "spine-free vs spine-full per-uplink bill: capex saving {:.1}%, power saving {:.1}%",
+        capex * 100.0,
+        power * 100.0
+    )];
+    ExperimentResult {
+        id: "dcn1",
+        title: "Spine-free DCN savings (Poutievski et al. summary)",
+        lines,
+        checks: vec![
+            Check::abs("capex saving", 0.30, capex, 0.03),
+            Check::abs("power saving", 0.41, power, 0.03),
+        ],
+    }
+}
+
+/// §4.2 — topology engineering vs uniform mesh on skewed traffic.
+pub fn dcn2() -> ExperimentResult {
+    let planner = DcnPlanner {
+        uplinks_per_ab: 30,
+        trunk_gbps: 100.0,
+    };
+    let mut lines = vec!["matrix | TE throughput gain | FCT improvement".into()];
+    let mut hot_gain = 0.0;
+    let mut hot_fct = 0.0;
+    for (name, tm) in [
+        ("uniform", TrafficMatrix::uniform(16, 40.0)),
+        ("gravity", TrafficMatrix::gravity(16, 40.0, 7)),
+        ("hotspot", TrafficMatrix::hotspot(16, 40.0, 8, 30.0, 3)),
+    ] {
+        let plan = planner.plan(&tm);
+        lines.push(format!(
+            "{:<7} | {:>17.2}x | {:>14.1}%",
+            name,
+            plan.throughput_gain(),
+            plan.fct_improvement() * 100.0
+        ));
+        if name == "hotspot" {
+            hot_gain = plan.throughput_gain();
+            hot_fct = plan.fct_improvement();
+        }
+    }
+    ExperimentResult {
+        id: "dcn2",
+        title: "Topology engineering vs uniform mesh",
+        lines,
+        checks: vec![
+            Check::holds(
+                "TE throughput gain on skewed traffic",
+                "material (paper: +30% TCP throughput)",
+                hot_gain > 1.10,
+            ),
+            Check::holds(
+                "TE FCT improvement",
+                "positive (paper: +10%)",
+                hot_fct > 0.02,
+            ),
+        ],
+    }
+}
+
+/// Table C.1 — OCS technology comparison.
+pub fn tabc1() -> ExperimentResult {
+    let mut lines =
+        vec!["technology   | cost   | ports      | switching  | loss   | latching".into()];
+    for t in table_c1() {
+        lines.push(format!(
+            "{:<12} | {:<6?} | {:>4}x{:<5} | {:>10} | {:>4.1} dB | {}",
+            t.name,
+            t.cost,
+            t.max_ports,
+            t.max_ports,
+            t.switching_time.to_string(),
+            t.insertion_loss.db(),
+            if t.latching { "yes" } else { "no" }
+        ));
+    }
+    let winners = select(&Requirements::paper_use_cases());
+    lines.push(format!(
+        "selection under the paper's requirements: {:?}",
+        winners.iter().map(|t| t.name).collect::<Vec<_>>()
+    ));
+    ExperimentResult {
+        id: "tabc1",
+        title: "OCS technology comparison",
+        lines,
+        checks: vec![Check::holds(
+            "technology selection",
+            "MEMS is the unique fit (§3.2.1)",
+            winners.len() == 1 && winners[0].name == "MEMS",
+        )],
+    }
+}
+
+/// §4.2.4 — pooled vs contiguous scheduling utilization.
+pub fn sched1(quick: bool) -> ExperimentResult {
+    let horizon = if quick { 800.0 } else { 4000.0 };
+    let sim = ClusterSim::new(default_mix(), 0.25);
+    let pooled = sim.run(&Pooled, horizon, 42);
+    let contiguous = sim.run(&Contiguous, horizon, 42);
+    // Defragmentation sidebar (shorter horizon — the repack path is
+    // computationally heavy): apples-to-apples against plain contiguous.
+    let sub_horizon = horizon.min(600.0);
+    let defrag = sim.run_contiguous_with_defrag(sub_horizon, 0.05, 42);
+    let plain_sub = sim.run(&Contiguous, sub_horizon, 42);
+    let lines = vec![
+        format!(
+            "pooled (OCS):       utilization {:.1}%, {} jobs, mean wait {:.2} h, {} fragmentation stalls",
+            pooled.utilization * 100.0,
+            pooled.completed,
+            pooled.mean_wait_hours,
+            pooled.fragmentation_stalls
+        ),
+        format!(
+            "contiguous:         utilization {:.1}%, {} jobs, mean wait {:.2} h, {} fragmentation stalls",
+            contiguous.utilization * 100.0,
+            contiguous.completed,
+            contiguous.mean_wait_hours,
+            contiguous.fragmentation_stalls
+        ),
+        format!(
+            "contiguous+defrag:  utilization {:.1}% vs {:.1}% plain over the same {:.0} h \
+             (migrations at 0.05 h each; §4.2.4's defrag, bought with checkpoints)",
+            defrag.utilization * 100.0,
+            plain_sub.utilization * 100.0,
+            sub_horizon
+        ),
+    ];
+    ExperimentResult {
+        id: "sched1",
+        title: "Slice scheduling: pooled (OCS) vs contiguous (static)",
+        lines,
+        checks: vec![
+            Check::holds(
+                "pooled utilization",
+                "> 95% under load (paper: > 98% fleet-wide)",
+                pooled.utilization > 0.95,
+            ),
+            Check::holds(
+                "contiguous trails pooled",
+                "fragmentation costs utilization",
+                contiguous.utilization < pooled.utilization - 0.02,
+            ),
+            Check::holds(
+                "fragmentation stalls",
+                "0 pooled, many contiguous",
+                pooled.fragmentation_stalls == 0 && contiguous.fragmentation_stalls > 50,
+            ),
+            Check::holds(
+                "defragmentation",
+                "cheap migrations beat plain contiguous",
+                defrag.utilization > plain_sub.utilization,
+            ),
+        ],
+    }
+}
+
+/// §4.2.3 — incremental vs monolithic deployment.
+pub fn deploy1() -> ExperimentResult {
+    let plan = DeploymentPlan::default();
+    let inc = plan.incremental();
+    let mono = plan.monolithic();
+    let lines = vec![
+        format!(
+            "incremental: first capacity day {:.0}, full day {:.0}, {:.0} cube-days banked by full",
+            inc.first_capacity_day, inc.full_capacity_day, inc.cube_days_by_full
+        ),
+        format!(
+            "monolithic:  first capacity day {:.0} (= full), 0 cube-days banked",
+            mono.first_capacity_day
+        ),
+    ];
+    ExperimentResult {
+        id: "deploy1",
+        title: "Deployment speed: incremental (lightwave) vs monolithic (v3-style)",
+        lines,
+        checks: vec![
+            Check::holds(
+                "incremental first capacity",
+                "days, not months",
+                inc.first_capacity_day < 5.0,
+            ),
+            Check::holds(
+                "monolithic first capacity",
+                "after the last rack + pod verification",
+                mono.first_capacity_day > 64.0,
+            ),
+            Check::holds(
+                "banked capacity",
+                "> 1500 cube-days of head start",
+                inc.cube_days_by_full > 1500.0,
+            ),
+        ],
+    }
+}
+
+/// §4.1.1 — OCS chassis power and availability.
+pub fn ocs1() -> ExperimentResult {
+    let chassis = Chassis::new();
+    let a = chassis.availability(8.0 * 8760.0, 4.0);
+    let mut ocs = PalomarOcs::new(0, 9);
+    let ready = ocs.connect(0, 64).expect("fresh switch connects");
+    let full_power = chassis.power_draw_w(136);
+    let lines = vec![
+        format!("max power at full load: {:.0} W (spec: 108 W)", full_power),
+        format!("chassis availability (8 y FRU MTBF, 4 h MTTR): {a}"),
+        format!("circuit switching time: {ready}"),
+    ];
+    ExperimentResult {
+        id: "ocs1",
+        title: "Palomar chassis power, availability, switching time",
+        lines,
+        checks: vec![
+            Check::holds("power", "≤ 108 W", full_power <= 108.0),
+            Check::holds("availability", "≥ 99.98% (§4.1.1)", a.prob() >= 0.9998),
+            Check::holds(
+                "switching time",
+                "milliseconds class (Table C.1)",
+                (5.0..60.0).contains(&ready.as_millis_f64()),
+            ),
+        ],
+    }
+}
+
+/// Convenience: a healthy nominal link report (used by the quickstart-like
+/// smoke path of the repro binary).
+pub fn nominal_link_ok() -> bool {
+    LinkDesigner::ml_default().evaluate().healthy
+}
+
+/// Keep `Nanos` import alive for switching-time rendering.
+#[allow(dead_code)]
+fn _t(_: Nanos) {}

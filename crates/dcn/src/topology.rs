@@ -1,0 +1,179 @@
+//! Aggregation-block topologies.
+//!
+//! An aggregation block (AB) exposes a fixed number of uplink trunks. In a
+//! spine-full Clos, all trunks climb to spine blocks; in a spine-free
+//! fabric they land on OCSes that patch them directly to other ABs. The
+//! logical inter-AB topology is then a *mesh* with an integer trunk count
+//! per AB pair — uniform by default, demand-shaped under topology
+//! engineering.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregation-block index.
+pub type AbId = usize;
+
+/// A logical inter-AB mesh: `trunks[i][j]` = number of trunks from AB i to
+/// AB j (symmetric).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mesh {
+    n: usize,
+    uplinks_per_ab: usize,
+    trunks: Vec<Vec<usize>>,
+}
+
+impl Mesh {
+    /// An empty mesh over `n` ABs with `uplinks_per_ab` trunks each.
+    pub fn empty(n: usize, uplinks_per_ab: usize) -> Mesh {
+        assert!(n >= 2, "a mesh needs at least two ABs");
+        Mesh {
+            n,
+            uplinks_per_ab,
+            trunks: vec![vec![0; n]; n],
+        }
+    }
+
+    /// The canonical uniform mesh: uplinks spread as evenly as possible
+    /// over the other `n−1` ABs. Every pair gets the same base trunk
+    /// count; leftover budget is placed greedily on the pair whose two
+    /// endpoints have the most headroom, keeping degrees balanced.
+    pub fn uniform(n: usize, uplinks_per_ab: usize) -> Mesh {
+        let mut mesh = Mesh::empty(n, uplinks_per_ab);
+        let base = uplinks_per_ab / (n - 1);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                mesh.set_trunks(i, j, base);
+            }
+        }
+        loop {
+            let mut best: Option<(usize, usize, usize)> = None;
+            for i in 0..n {
+                if mesh.degree(i) >= uplinks_per_ab {
+                    continue;
+                }
+                for j in (i + 1)..n {
+                    if mesh.degree(j) >= uplinks_per_ab {
+                        continue;
+                    }
+                    let head = 2 * uplinks_per_ab - mesh.degree(i) - mesh.degree(j);
+                    match best {
+                        Some((_, _, bh)) if bh >= head => {}
+                        _ => best = Some((i, j, head)),
+                    }
+                }
+            }
+            match best {
+                Some((i, j, _)) => {
+                    let t = mesh.trunks(i, j);
+                    mesh.set_trunks(i, j, t + 1);
+                }
+                None => break,
+            }
+        }
+        mesh
+    }
+
+    /// Number of ABs.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Radix budget per AB.
+    pub fn uplinks_per_ab(&self) -> usize {
+        self.uplinks_per_ab
+    }
+
+    /// Trunk count between two ABs.
+    pub fn trunks(&self, i: AbId, j: AbId) -> usize {
+        self.trunks[i][j]
+    }
+
+    /// Sets the trunk count of a pair (symmetric).
+    ///
+    /// # Panics
+    /// Panics on `i == j`.
+    pub fn set_trunks(&mut self, i: AbId, j: AbId, t: usize) {
+        assert!(i != j, "no self-trunks");
+        self.trunks[i][j] = t;
+        self.trunks[j][i] = t;
+    }
+
+    /// Total trunks used by AB `i`.
+    pub fn degree(&self, i: AbId) -> usize {
+        self.trunks[i].iter().sum()
+    }
+
+    /// Whether every AB respects its radix budget.
+    pub fn within_budget(&self) -> bool {
+        (0..self.n).all(|i| self.degree(i) <= self.uplinks_per_ab)
+    }
+
+    /// Whether the mesh is connected (every AB reaches every other over
+    /// trunks ≥ 1), required for transit routing.
+    pub fn connected(&self) -> bool {
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(i) = stack.pop() {
+            for j in 0..self.n {
+                if !seen[j] && self.trunks[i][j] > 0 {
+                    seen[j] = true;
+                    stack.push(j);
+                }
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_mesh_is_balanced_and_legal() {
+        let mesh = Mesh::uniform(16, 60); // 60 uplinks over 15 peers = 4 each
+        for i in 0..16 {
+            assert_eq!(mesh.degree(i), 60);
+            for j in 0..16 {
+                if i != j {
+                    assert_eq!(mesh.trunks(i, j), 4);
+                }
+            }
+        }
+        assert!(mesh.within_budget());
+        assert!(mesh.connected());
+    }
+
+    #[test]
+    fn uniform_mesh_handles_remainders() {
+        let mesh = Mesh::uniform(8, 10); // 10 over 7 peers: 1 or 2 each
+        for i in 0..8 {
+            assert!(mesh.degree(i) <= 10);
+            assert!(mesh.degree(i) >= 8, "degree {} at AB {i}", mesh.degree(i));
+        }
+        assert!(mesh.connected());
+    }
+
+    #[test]
+    fn set_trunks_is_symmetric() {
+        let mut mesh = Mesh::empty(4, 12);
+        mesh.set_trunks(0, 3, 5);
+        assert_eq!(mesh.trunks(3, 0), 5);
+    }
+
+    #[test]
+    fn disconnection_is_detected() {
+        let mut mesh = Mesh::empty(4, 4);
+        mesh.set_trunks(0, 1, 2);
+        mesh.set_trunks(2, 3, 2);
+        assert!(!mesh.connected());
+        mesh.set_trunks(1, 2, 1);
+        assert!(mesh.connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "no self-trunks")]
+    fn self_trunks_rejected() {
+        Mesh::empty(4, 4).set_trunks(2, 2, 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! Traffic-matrix generators.
+//!
+//! Topology engineering pays off on *long-lived, skewed* patterns (§2.1:
+//! "optimization of inter-AB bandwidth when there is an increase in
+//! long-lived traffic demand between a particular set of ABs"). These
+//! generators produce the regimes the evaluation sweeps: uniform
+//! (TE-neutral), gravity (mildly skewed), and hotspot (strongly skewed).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rand_distr::{Distribution, LogNormal};
+use serde::{Deserialize, Serialize};
+
+/// A demand matrix in Gb/s between AB pairs (diagonal is zero).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficMatrix {
+    n: usize,
+    demand: Vec<Vec<f64>>,
+}
+
+impl TrafficMatrix {
+    /// Builds from a raw matrix.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square with a zero diagonal and
+    /// non-negative entries.
+    pub fn new(demand: Vec<Vec<f64>>) -> TrafficMatrix {
+        let n = demand.len();
+        assert!(n >= 2, "need at least two ABs");
+        for (i, row) in demand.iter().enumerate() {
+            assert_eq!(row.len(), n, "matrix must be square");
+            assert!(row[i] == 0.0, "diagonal must be zero");
+            assert!(row.iter().all(|&d| d >= 0.0 && d.is_finite()));
+        }
+        TrafficMatrix { n, demand }
+    }
+
+    /// Uniform all-to-all demand.
+    pub fn uniform(n: usize, per_pair_gbps: f64) -> TrafficMatrix {
+        let mut demand = vec![vec![per_pair_gbps; n]; n];
+        for (i, row) in demand.iter_mut().enumerate() {
+            row[i] = 0.0;
+        }
+        TrafficMatrix::new(demand)
+    }
+
+    /// Gravity model: each AB has a log-normal "mass"; demand i→j ∝
+    /// mass_i · mass_j, scaled so the mean pair demand is `mean_gbps`.
+    pub fn gravity(n: usize, mean_gbps: f64, seed: u64) -> TrafficMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = LogNormal::new(0.0, 0.8).expect("valid params");
+        let mass: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mut demand = vec![vec![0.0; n]; n];
+        let mut total = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    demand[i][j] = mass[i] * mass[j];
+                    total += demand[i][j];
+                }
+            }
+        }
+        let scale = mean_gbps * (n * (n - 1)) as f64 / total;
+        for row in &mut demand {
+            for d in row.iter_mut() {
+                *d *= scale;
+            }
+        }
+        TrafficMatrix::new(demand)
+    }
+
+    /// Hotspot model: a uniform floor plus `hot_pairs` randomly chosen
+    /// pairs carrying `hot_factor`× the floor (the long-lived elephant
+    /// pattern TE exploits).
+    pub fn hotspot(
+        n: usize,
+        floor_gbps: f64,
+        hot_pairs: usize,
+        hot_factor: f64,
+        seed: u64,
+    ) -> TrafficMatrix {
+        assert!(hot_pairs <= n * (n - 1) / 2, "too many hot pairs");
+        let mut tm = TrafficMatrix::uniform(n, floor_gbps);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut chosen = std::collections::BTreeSet::new();
+        while chosen.len() < hot_pairs {
+            let i = rng.random_range(0..n);
+            let j = rng.random_range(0..n);
+            if i < j {
+                chosen.insert((i, j));
+            }
+        }
+        for (i, j) in chosen {
+            tm.demand[i][j] = floor_gbps * hot_factor;
+            tm.demand[j][i] = floor_gbps * hot_factor;
+        }
+        tm
+    }
+
+    /// AB count.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Demand i → j.
+    pub fn demand(&self, i: usize, j: usize) -> f64 {
+        self.demand[i][j]
+    }
+
+    /// Total offered load.
+    pub fn total(&self) -> f64 {
+        self.demand.iter().flatten().sum()
+    }
+
+    /// Skew metric: max pair demand / mean pair demand.
+    pub fn skew(&self) -> f64 {
+        let n_pairs = (self.n * (self.n - 1)) as f64;
+        let mean = self.total() / n_pairs;
+        let max = self.demand.iter().flatten().fold(0.0f64, |a, &b| a.max(b));
+        max / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_has_no_skew() {
+        let tm = TrafficMatrix::uniform(8, 10.0);
+        assert!((tm.skew() - 1.0).abs() < 1e-9);
+        assert!((tm.total() - 8.0 * 7.0 * 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gravity_is_skewed_but_mean_preserving() {
+        let tm = TrafficMatrix::gravity(16, 10.0, 3);
+        let mean = tm.total() / (16.0 * 15.0);
+        assert!((mean - 10.0).abs() < 1e-9, "mean preserved: {mean}");
+        assert!(
+            tm.skew() > 2.0,
+            "gravity should be visibly skewed: {}",
+            tm.skew()
+        );
+    }
+
+    #[test]
+    fn hotspot_raises_selected_pairs() {
+        let tm = TrafficMatrix::hotspot(16, 5.0, 6, 10.0, 1);
+        // skew = hot/mean where mean is pulled up by the hot entries:
+        // mean = (12·50 + 228·5)/240 = 7.25 → skew ≈ 6.9.
+        assert!((5.0..10.0).contains(&tm.skew()), "skew {}", tm.skew());
+        let hot = tm
+            .demand
+            .iter()
+            .flatten()
+            .filter(|&&d| d > 5.0 + 1e-9)
+            .count();
+        assert_eq!(hot, 12, "6 symmetric hot pairs = 12 entries");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            TrafficMatrix::gravity(8, 1.0, 7),
+            TrafficMatrix::gravity(8, 1.0, 7)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal must be zero")]
+    fn bad_diagonal_rejected() {
+        let _ = TrafficMatrix::new(vec![vec![1.0, 2.0], vec![2.0, 0.0]]);
+    }
+}

@@ -1,0 +1,297 @@
+//! Target-state fabric reconfiguration.
+//!
+//! The controller follows the intent/commit pattern of production SDN
+//! control planes: callers declare the *desired* port mapping of every
+//! switch ([`FabricTarget`]), the controller validates the whole
+//! transaction against every switch first, and only then applies — so a
+//! typo'd mapping on switch 47 cannot leave switches 0–46 half
+//! reconfigured. Application is minimal-delta per switch: circuits present
+//! in both the old and new state are never touched (the paper's job
+//! isolation requirement, §2.3), and the report proves it.
+
+use crate::fleet::{OcsFleet, OcsId};
+use lightwave_ocs::{OcsError, PortMapping, ReconfigReport};
+use lightwave_transceiver::bringup::LinkBringup;
+use lightwave_units::Nanos;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The desired state of (part of) the fabric: per-switch port mappings.
+/// Switches not mentioned keep their current configuration.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FabricTarget {
+    targets: BTreeMap<OcsId, PortMapping>,
+}
+
+impl FabricTarget {
+    /// An empty target (a no-op commit).
+    pub fn new() -> FabricTarget {
+        FabricTarget::default()
+    }
+
+    /// Sets the full desired mapping of one switch.
+    pub fn set(&mut self, ocs: OcsId, mapping: PortMapping) -> &mut Self {
+        self.targets.insert(ocs, mapping);
+        self
+    }
+
+    /// The mapping for one switch, if declared.
+    pub fn get(&self, ocs: OcsId) -> Option<&PortMapping> {
+        self.targets.get(&ocs)
+    }
+
+    /// Switches touched by this target.
+    pub fn switches(&self) -> impl Iterator<Item = OcsId> + '_ {
+        self.targets.keys().copied()
+    }
+
+    /// Total circuits across all declared mappings.
+    pub fn circuit_count(&self) -> usize {
+        self.targets.values().map(|m| m.len()).sum()
+    }
+}
+
+/// Why a commit was rejected (nothing was applied).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommitError {
+    /// The target names a switch the fleet does not have.
+    UnknownSwitch(OcsId),
+    /// A switch rejected its mapping during validation.
+    Invalid {
+        /// The offending switch.
+        ocs: OcsId,
+        /// The underlying error.
+        error: OcsError,
+    },
+}
+
+impl std::fmt::Display for CommitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommitError::UnknownSwitch(id) => write!(f, "unknown switch {id}"),
+            CommitError::Invalid { ocs, error } => write!(f, "switch {ocs}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for CommitError {}
+
+/// What a committed transaction did.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommitReport {
+    /// Per-switch reconfiguration reports.
+    pub per_switch: BTreeMap<OcsId, ReconfigReport>,
+    /// Circuits left untouched fabric-wide (the isolation audit).
+    pub untouched: usize,
+    /// Circuits added fabric-wide.
+    pub added: usize,
+    /// Circuits removed fabric-wide.
+    pub removed: usize,
+    /// Time until every moved circuit is optically settled *and* its
+    /// transceivers have re-acquired (OCS settle + link bring-up).
+    pub traffic_ready_at: Nanos,
+}
+
+/// The fabric controller: owns the fleet and serializes reconfiguration.
+#[derive(Debug, Default)]
+pub struct FabricController {
+    /// The switch fleet.
+    pub fleet: OcsFleet,
+}
+
+impl FabricController {
+    /// Wraps a fleet.
+    pub fn new(fleet: OcsFleet) -> FabricController {
+        FabricController { fleet }
+    }
+
+    /// Validates `target` against every named switch without applying.
+    pub fn validate(&self, target: &FabricTarget) -> Result<(), CommitError> {
+        for id in target.switches() {
+            let ocs = self.fleet.get(id).ok_or(CommitError::UnknownSwitch(id))?;
+            if !ocs.is_up() {
+                return Err(CommitError::Invalid {
+                    ocs: id,
+                    error: OcsError::ChassisDown,
+                });
+            }
+            let mapping = target.get(id).expect("iterating declared switches");
+            // Dry-run the per-port checks the switch will make.
+            for (n, s) in mapping.pairs() {
+                if ocs.health().degraded_ports.contains(&n) {
+                    return Err(CommitError::Invalid {
+                        ocs: id,
+                        error: OcsError::PortDegraded(n),
+                    });
+                }
+                if ocs.health().degraded_ports.contains(&s) {
+                    return Err(CommitError::Invalid {
+                        ocs: id,
+                        error: OcsError::PortDegraded(s),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates then applies the whole transaction. On error nothing has
+    /// been applied.
+    pub fn commit(&mut self, target: &FabricTarget) -> Result<CommitReport, CommitError> {
+        self.validate(target)?;
+        let mut per_switch = BTreeMap::new();
+        let mut untouched = 0;
+        let mut added = 0;
+        let mut removed = 0;
+        let mut latest = Nanos(0);
+        for id in target.switches() {
+            let mapping = target.get(id).expect("declared");
+            let ocs = self.fleet.get_mut(id).expect("validated");
+            let report = ocs
+                .apply_mapping(mapping)
+                .map_err(|error| CommitError::Invalid { ocs: id, error })?;
+            untouched += report.untouched;
+            added += report.added.len();
+            removed += report.removed.len();
+            latest = latest.max(report.ready_at);
+            per_switch.insert(id, report);
+        }
+        // Moved circuits need transceiver re-acquisition after the mirrors
+        // settle; only transactions that added circuits pay bring-up.
+        let traffic_ready_at = if added > 0 {
+            latest + LinkBringup::nominal_duration()
+        } else {
+            latest
+        };
+        Ok(CommitReport {
+            per_switch,
+            untouched,
+            added,
+            removed,
+            traffic_ready_at,
+        })
+    }
+
+    /// Advances fabric time.
+    pub fn advance(&mut self, dt: Nanos) {
+        self.fleet.advance(dt);
+    }
+
+    /// True when no switch has circuits still aligning.
+    pub fn settled(&self) -> bool {
+        self.fleet.health().pending == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightwave_ocs::PortMapping;
+
+    fn controller(n: usize) -> FabricController {
+        FabricController::new(OcsFleet::build(n, 17))
+    }
+
+    #[test]
+    fn commit_applies_across_switches() {
+        let mut c = controller(3);
+        let mut t = FabricTarget::new();
+        t.set(0, PortMapping::from_pairs([(0, 1), (2, 3)]).unwrap());
+        t.set(2, PortMapping::from_pairs([(5, 6)]).unwrap());
+        let report = c.commit(&t).unwrap();
+        assert_eq!(report.added, 3);
+        assert_eq!(report.removed, 0);
+        assert!(report.traffic_ready_at > Nanos(0));
+        c.advance(Nanos::from_millis(300));
+        assert!(c.settled());
+        assert_eq!(c.fleet.health().circuits, 3);
+    }
+
+    #[test]
+    fn unknown_switch_rejects_whole_transaction() {
+        let mut c = controller(2);
+        let mut t = FabricTarget::new();
+        t.set(0, PortMapping::from_pairs([(0, 1)]).unwrap());
+        t.set(9, PortMapping::from_pairs([(0, 1)]).unwrap());
+        assert_eq!(c.commit(&t).unwrap_err(), CommitError::UnknownSwitch(9));
+        // Atomicity: switch 0 must be untouched.
+        assert_eq!(c.fleet.health().circuits, 0);
+    }
+
+    #[test]
+    fn down_switch_rejects_without_partial_apply() {
+        let mut c = controller(2);
+        {
+            let ocs = c.fleet.get_mut(1).unwrap();
+            ocs.fail_fru(0);
+            ocs.fail_fru(1);
+        }
+        let mut t = FabricTarget::new();
+        t.set(0, PortMapping::from_pairs([(0, 1)]).unwrap());
+        t.set(1, PortMapping::from_pairs([(2, 3)]).unwrap());
+        match c.commit(&t).unwrap_err() {
+            CommitError::Invalid { ocs: 1, error } => {
+                assert_eq!(error, OcsError::ChassisDown)
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert_eq!(c.fleet.health().circuits, 0, "atomic: nothing applied");
+    }
+
+    #[test]
+    fn incremental_commit_preserves_running_circuits() {
+        let mut c = controller(1);
+        let mut t1 = FabricTarget::new();
+        t1.set(
+            0,
+            PortMapping::from_pairs([(0, 10), (1, 11), (2, 12)]).unwrap(),
+        );
+        c.commit(&t1).unwrap();
+        c.advance(Nanos::from_millis(300));
+        // Second generation: keep (0,10) and (1,11), move (2,12)→(2,13).
+        let mut t2 = FabricTarget::new();
+        t2.set(
+            0,
+            PortMapping::from_pairs([(0, 10), (1, 11), (2, 13)]).unwrap(),
+        );
+        let report = c.commit(&t2).unwrap();
+        assert_eq!(report.untouched, 2);
+        assert_eq!(report.added, 1);
+        assert_eq!(report.removed, 1);
+        // Untouched circuits still carrying mid-transaction.
+        let ocs = c.fleet.get(0).unwrap();
+        assert!(ocs.circuit_ready(0) && ocs.circuit_ready(1));
+        assert!(!ocs.circuit_ready(2));
+    }
+
+    #[test]
+    fn noop_commit_is_instant() {
+        let mut c = controller(1);
+        let mut t = FabricTarget::new();
+        t.set(0, PortMapping::from_pairs([(0, 10)]).unwrap());
+        c.commit(&t).unwrap();
+        c.advance(Nanos::from_millis(300));
+        let before = c.fleet.get(0).unwrap().now();
+        let report = c.commit(&t).unwrap();
+        assert_eq!(report.added, 0);
+        assert_eq!(report.untouched, 1);
+        assert_eq!(report.traffic_ready_at, before, "no settle needed");
+    }
+
+    #[test]
+    fn unmentioned_switches_keep_their_config() {
+        let mut c = controller(2);
+        let mut t1 = FabricTarget::new();
+        t1.set(1, PortMapping::from_pairs([(7, 8)]).unwrap());
+        c.commit(&t1).unwrap();
+        c.advance(Nanos::from_millis(300));
+        let mut t2 = FabricTarget::new();
+        t2.set(0, PortMapping::from_pairs([(0, 1)]).unwrap());
+        c.commit(&t2).unwrap();
+        assert_eq!(
+            c.fleet.get(1).unwrap().mapping().len(),
+            1,
+            "switch 1 untouched"
+        );
+    }
+}

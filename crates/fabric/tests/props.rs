@@ -1,0 +1,85 @@
+//! Property tests for the fabric controller's transactional semantics.
+
+use lightwave_fabric::{FabricController, FabricTarget, OcsFleet};
+use lightwave_ocs::PortMapping;
+use lightwave_units::Nanos;
+use proptest::prelude::*;
+
+fn arbitrary_target(switches: u32) -> impl Strategy<Value = FabricTarget> {
+    proptest::collection::vec(
+        (
+            0..switches,
+            proptest::collection::vec((0u16..64, 64u16..128), 0..12),
+        ),
+        0..4,
+    )
+    .prop_map(|decls| {
+        let mut t = FabricTarget::new();
+        for (ocs, pairs) in decls {
+            let mut m = PortMapping::new();
+            for (n, s) in pairs {
+                let _ = m.insert(n, s); // skip conflicting pairs
+            }
+            t.set(ocs, m);
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Committing any valid target then advancing always converges to
+    /// exactly that target, fully settled.
+    #[test]
+    fn commit_converges_to_target(seed in 0u64..50, target in arbitrary_target(4)) {
+        let mut c = FabricController::new(OcsFleet::build(4, seed));
+        c.commit(&target).expect("valid target commits");
+        c.advance(Nanos::from_millis(500));
+        prop_assert!(c.settled());
+        for ocs_id in target.switches() {
+            let ocs = c.fleet.get(ocs_id).expect("exists");
+            prop_assert_eq!(&ocs.mapping(), target.get(ocs_id).expect("declared"));
+        }
+    }
+
+    /// Committing twice is idempotent: the second commit touches nothing.
+    #[test]
+    fn commit_is_idempotent(seed in 0u64..50, target in arbitrary_target(3)) {
+        let mut c = FabricController::new(OcsFleet::build(3, seed));
+        c.commit(&target).expect("commits");
+        c.advance(Nanos::from_millis(500));
+        let again = c.commit(&target).expect("recommits");
+        prop_assert_eq!(again.added, 0);
+        prop_assert_eq!(again.removed, 0);
+        prop_assert_eq!(again.untouched, target.circuit_count());
+    }
+
+    /// Sequential commits: the preserved-circuit count equals the overlap
+    /// between consecutive targets.
+    #[test]
+    fn preservation_equals_overlap(
+        seed in 0u64..50,
+        t1 in arbitrary_target(2),
+        t2 in arbitrary_target(2),
+    ) {
+        let mut c = FabricController::new(OcsFleet::build(2, seed));
+        c.commit(&t1).expect("commits");
+        c.advance(Nanos::from_millis(500));
+        let report = c.commit(&t2).expect("commits");
+        // Count (ocs, n, s) triples present in both targets, over switches
+        // t2 declares (undeclared switches keep their config untouched
+        // and are not reported).
+        let mut overlap = 0;
+        for ocs in t2.switches() {
+            if let (Some(m1), Some(m2)) = (t1.get(ocs), t2.get(ocs)) {
+                for (n, s) in m2.pairs() {
+                    if m1.get(n) == Some(s) {
+                        overlap += 1;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(report.untouched, overlap);
+    }
+}

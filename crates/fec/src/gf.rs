@@ -1,0 +1,176 @@
+//! Arithmetic over GF(2¹⁰), the symbol field of the KP4 RS(544,514) code.
+//!
+//! Elements are 10-bit values; multiplication uses log/antilog tables built
+//! from the primitive polynomial x¹⁰ + x³ + 1 (0x409), the polynomial used
+//! by IEEE 802.3 clause 91 KP4 FEC.
+
+use std::sync::OnceLock;
+
+/// Field order.
+pub const FIELD_SIZE: usize = 1024;
+/// Multiplicative-group order (= FIELD_SIZE − 1).
+pub const GROUP_ORDER: usize = FIELD_SIZE - 1;
+/// Primitive polynomial x¹⁰ + x³ + 1.
+const PRIMITIVE_POLY: u32 = 0x409;
+
+/// A GF(2¹⁰) element (only the low 10 bits are meaningful).
+pub type Gf = u16;
+
+struct Tables {
+    /// exp[i] = α^i for i in 0..2·GROUP_ORDER (doubled to skip mod in mul).
+    exp: Vec<Gf>,
+    /// log[x] = i such that α^i = x, for x in 1..FIELD_SIZE.
+    log: Vec<u16>,
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = vec![0u16; 2 * GROUP_ORDER];
+        let mut log = vec![0u16; FIELD_SIZE];
+        let mut x: u32 = 1;
+        for i in 0..GROUP_ORDER {
+            exp[i] = x as Gf;
+            log[x as usize] = i as u16;
+            x <<= 1;
+            if x & (FIELD_SIZE as u32) != 0 {
+                x ^= PRIMITIVE_POLY;
+            }
+        }
+        for i in GROUP_ORDER..2 * GROUP_ORDER {
+            exp[i] = exp[i - GROUP_ORDER];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// Field addition (= subtraction): XOR.
+#[inline]
+pub fn add(a: Gf, b: Gf) -> Gf {
+    a ^ b
+}
+
+/// Field multiplication.
+#[inline]
+pub fn mul(a: Gf, b: Gf) -> Gf {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.exp[t.log[a as usize] as usize + t.log[b as usize] as usize]
+}
+
+/// Multiplicative inverse.
+///
+/// # Panics
+/// Panics on zero (zero has no inverse).
+#[inline]
+pub fn inv(a: Gf) -> Gf {
+    assert!(a != 0, "zero has no multiplicative inverse in GF(2^10)");
+    let t = tables();
+    t.exp[GROUP_ORDER - t.log[a as usize] as usize]
+}
+
+/// Field division `a / b`.
+///
+/// # Panics
+/// Panics if `b` is zero.
+#[inline]
+pub fn div(a: Gf, b: Gf) -> Gf {
+    mul(a, inv(b))
+}
+
+/// `α^i` for any integer exponent (reduced mod the group order).
+#[inline]
+pub fn alpha_pow(i: i64) -> Gf {
+    let e = i.rem_euclid(GROUP_ORDER as i64) as usize;
+    tables().exp[e]
+}
+
+/// Discrete log base α.
+///
+/// # Panics
+/// Panics on zero.
+#[inline]
+pub fn log(a: Gf) -> u16 {
+    assert!(a != 0, "zero has no discrete log");
+    tables().log[a as usize]
+}
+
+/// Evaluates a polynomial (coefficients lowest-degree first) at `x`.
+pub fn poly_eval(coeffs: &[Gf], x: Gf) -> Gf {
+    let mut acc: Gf = 0;
+    for &c in coeffs.iter().rev() {
+        acc = add(mul(acc, x), c);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_generates_the_whole_group() {
+        let mut seen = vec![false; FIELD_SIZE];
+        for i in 0..GROUP_ORDER as i64 {
+            let x = alpha_pow(i);
+            assert!(x != 0);
+            assert!(!seen[x as usize], "α^{i} repeated — poly not primitive");
+            seen[x as usize] = true;
+        }
+    }
+
+    #[test]
+    fn mul_is_commutative_and_associative_spot_check() {
+        for &(a, b, c) in &[(3u16, 7u16, 1000u16), (512, 513, 2), (1023, 1023, 1023)] {
+            assert_eq!(mul(a, b), mul(b, a));
+            assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        for a in 1..FIELD_SIZE as Gf {
+            assert_eq!(mul(a, inv(a)), 1, "a·a⁻¹ ≠ 1 for a = {a}");
+        }
+    }
+
+    #[test]
+    fn distributive_law_spot_check() {
+        for &(a, b, c) in &[(5u16, 100u16, 900u16), (1023, 1, 2), (77, 88, 99)] {
+            assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+        }
+    }
+
+    #[test]
+    fn division_roundtrip() {
+        for &(a, b) in &[(42u16, 999u16), (1, 1023), (1000, 3)] {
+            assert_eq!(mul(div(a, b), b), a);
+        }
+    }
+
+    #[test]
+    fn poly_eval_horner() {
+        // p(x) = 1 + x: p(α) = 1 ^ α.
+        let alpha = alpha_pow(1);
+        assert_eq!(poly_eval(&[1, 1], alpha), add(1, alpha));
+        // Constant polynomial.
+        assert_eq!(poly_eval(&[7], 123), 7);
+        // Empty polynomial is zero.
+        assert_eq!(poly_eval(&[], 5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no multiplicative inverse")]
+    fn inv_zero_panics() {
+        let _ = inv(0);
+    }
+
+    #[test]
+    fn alpha_pow_wraps_negative_exponents() {
+        assert_eq!(alpha_pow(-1), inv(alpha_pow(1)));
+        assert_eq!(alpha_pow(GROUP_ORDER as i64), 1);
+        assert_eq!(alpha_pow(0), 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the FEC codecs.
+
+use lightwave_fec::hamming::HardDecode;
+use lightwave_fec::{ExtHamming, Interleaver, ReedSolomon};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hamming_encode_extract_identity(data in 0u128..(1u128 << 120)) {
+        let code = ExtHamming;
+        let cw = code.encode(data);
+        prop_assert!(code.is_codeword(cw));
+        prop_assert_eq!(code.extract_data(cw), data);
+    }
+
+    #[test]
+    fn hamming_single_error_always_corrects(data in 0u128..(1u128 << 100), pos in 0usize..128) {
+        let code = ExtHamming;
+        let cw = code.encode(data);
+        match code.hard_decode(cw ^ (1u128 << pos)) {
+            HardDecode::Corrected { codeword, flipped } => {
+                prop_assert_eq!(codeword, cw);
+                prop_assert_eq!(flipped, 1);
+            }
+            HardDecode::Detected => prop_assert!(false, "single error misdetected"),
+        }
+    }
+
+    #[test]
+    fn hamming_double_error_always_detected(
+        data in 0u128..(1u128 << 100),
+        a in 0usize..128,
+        b in 0usize..128,
+    ) {
+        prop_assume!(a != b);
+        let code = ExtHamming;
+        let cw = code.encode(data);
+        prop_assert_eq!(
+            code.hard_decode(cw ^ (1u128 << a) ^ (1u128 << b)),
+            HardDecode::Detected
+        );
+    }
+
+    #[test]
+    fn rs_corrects_any_pattern_within_t(seed in 0u64..300, nerr in 0usize..=5) {
+        let rs = ReedSolomon::new(31, 21); // t = 5
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<u16> = (0..rs.k()).map(|_| rng.random_range(0..1024u16)).collect();
+        let cw = rs.encode(&data);
+        let mut rx = cw.clone();
+        let mut positions: Vec<usize> = (0..rs.n()).collect();
+        for i in 0..nerr {
+            let j = rng.random_range(i..positions.len());
+            positions.swap(i, j);
+            rx[positions[i]] ^= rng.random_range(1..1024u16);
+        }
+        let fixed = rs.decode(&mut rx);
+        prop_assert!(fixed.is_ok());
+        prop_assert_eq!(rx, cw);
+    }
+
+    #[test]
+    fn rs_errata_capacity_boundary(seed in 0u64..200, mu in 0usize..=10) {
+        // ν errors + μ erasures with 2ν + μ = 2t exactly: always decodes.
+        let rs = ReedSolomon::new(31, 21); // 2t = 10
+        let nu = (10 - mu) / 2;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<u16> = (0..rs.k()).map(|_| rng.random_range(0..1024u16)).collect();
+        let cw = rs.encode(&data);
+        let mut rx = cw.clone();
+        let mut positions: Vec<usize> = (0..rs.n()).collect();
+        for i in 0..(mu + nu) {
+            let j = rng.random_range(i..positions.len());
+            positions.swap(i, j);
+            rx[positions[i]] ^= rng.random_range(1..1024u16);
+        }
+        let erasures: Vec<usize> = positions[..mu].to_vec();
+        prop_assert!(rs.decode_errata(&mut rx, &erasures).is_ok());
+        prop_assert_eq!(rx, cw);
+    }
+
+    #[test]
+    fn interleaver_roundtrip_any_burst_within_tolerance(
+        seed in 0u64..200,
+        depth in 1usize..=4,
+        burst_start in 0usize..40,
+        burst_frac in 0.0f64..=1.0,
+    ) {
+        let il = Interleaver::new(ReedSolomon::new(15, 11), depth);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let payload: Vec<u16> = (0..il.frame_payload()).map(|_| rng.random_range(0..1024u16)).collect();
+        let mut frame = il.encode(&payload);
+        let burst = (burst_frac * il.burst_tolerance() as f64) as usize;
+        let start = burst_start.min(frame.len().saturating_sub(burst));
+        for slot in frame.iter_mut().skip(start).take(burst) {
+            *slot ^= 0x2AB;
+        }
+        let (out, _) = il.decode(&frame).expect("burst within tolerance");
+        prop_assert_eq!(out, payload);
+    }
+
+    #[test]
+    fn chase_output_is_always_a_codeword_or_input(
+        data in 0u128..(1u128 << 100),
+        e1 in 0usize..128,
+        e2 in 0usize..128,
+        e3 in 0usize..128,
+    ) {
+        let code = ExtHamming;
+        let cw = code.encode(data);
+        let corrupted = cw ^ (1u128 << e1) ^ (1u128 << e2) ^ (1u128 << e3);
+        // Uniform reliabilities: no soft info, worst case for Chase.
+        let rel = vec![1.0; 128];
+        let out = code.chase_decode(corrupted, &rel, 5);
+        prop_assert!(code.is_codeword(out) || out == corrupted);
+    }
+}

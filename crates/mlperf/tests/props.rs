@@ -1,0 +1,90 @@
+//! Property tests for the LLM step-time model and shape optimizer.
+
+use lightwave_mlperf::{step_time, tp_waste_factor, ChipParams, LlmConfig, SliceOptimizer};
+use lightwave_superpod::slice::SliceShape;
+use proptest::prelude::*;
+
+fn any_model() -> impl Strategy<Value = LlmConfig> {
+    prop_oneof![
+        Just(LlmConfig::llm0()),
+        Just(LlmConfig::llm1()),
+        Just(LlmConfig::llm2()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn step_components_are_nonnegative(model in any_model(), a in 1usize..=4, b in 1usize..=4, c in 1usize..=4) {
+        let shape = SliceShape::new(4 * a, 4 * b, 4 * c).expect("valid");
+        if let Ok(st) = step_time(&model, shape, &ChipParams::tpu_v4()) {
+            prop_assert!(st.compute > 0.0);
+            prop_assert!(st.tp_comm >= 0.0);
+            prop_assert!(st.pipeline_bubble >= 0.0);
+            prop_assert!(st.dp_comm >= 0.0);
+            prop_assert!(st.total().is_finite());
+            // Mapping covers the whole slice.
+            prop_assert_eq!(
+                st.mapping.tp * st.mapping.pp * st.mapping.dp,
+                shape.chip_count()
+            );
+        }
+    }
+
+    #[test]
+    fn optimizer_result_is_actually_optimal(model in any_model(), cubes_pow in 0u32..=6) {
+        // Exhaustively verify the optimizer against brute force.
+        let chips = 64usize << cubes_pow; // 64..4096
+        let chip = ChipParams::tpu_v4();
+        if let Some(best) = SliceOptimizer::tpu_v4().optimize(&model, chips) {
+            for shape in SliceShape::enumerate_with_chips(chips) {
+                if let Ok(st) = step_time(&model, shape, &chip) {
+                    prop_assert!(
+                        best.step.total() <= st.total() + 1e-12,
+                        "optimizer missed {:?} ({} < {})",
+                        shape.chips,
+                        st.total(),
+                        best.step.total()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn waste_factor_is_monotone_and_anchored(inherent in 1usize..=16, extra in 1usize..=4) {
+        let ways = inherent * (1 << extra);
+        let w1 = tp_waste_factor(inherent, inherent);
+        let w2 = tp_waste_factor(ways, inherent);
+        prop_assert!((w1 - 1.0).abs() < 1e-12, "matching inherent width is free");
+        prop_assert!(w2 > 1.0);
+        // More over-splitting always wastes more.
+        prop_assert!(tp_waste_factor(ways * 2, inherent) > w2);
+    }
+
+    #[test]
+    fn speedup_vs_baseline_is_at_least_one(model in any_model()) {
+        // The optimizer can always pick the baseline shape itself, so its
+        // result can never lose to the baseline.
+        let r = SliceOptimizer::tpu_v4().optimize(&model, 4096).expect("feasible");
+        prop_assert!(r.speedup_vs_baseline >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn throughput_scales_with_chip_speed(model in any_model(), mfu in 0.2f64..0.6) {
+        let shape = SliceShape::new(16, 16, 16).expect("valid");
+        let slow = ChipParams {
+            mfu,
+            ..ChipParams::tpu_v4()
+        };
+        let fast = ChipParams {
+            mfu: mfu * 1.5,
+            ..ChipParams::tpu_v4()
+        };
+        if let (Ok(s), Ok(f)) = (step_time(&model, shape, &slow), step_time(&model, shape, &fast)) {
+            prop_assert!(f.compute < s.compute);
+            prop_assert!(f.total() <= s.total());
+        }
+    }
+}

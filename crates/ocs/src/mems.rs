@@ -1,0 +1,272 @@
+//! MEMS mirror dies: fabrication yield, qualification, spares, failures.
+//!
+//! §3.2.2: "To increase yield and redundancy, 176 micro-mirrors were
+//! fabricated on each MEMS die from which the best 136 mirrors were used
+//! for the switch with additional qualified connections used as
+//! manufacturing spares." Each of the two dies in the optical core steers
+//! one axis of the path; a port is served by one mirror per die.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+/// Mirrors fabricated per die.
+pub const FABRICATED_MIRRORS: usize = 176;
+/// Mirrors placed in service per die.
+pub const SERVICE_MIRRORS: usize = 136;
+
+/// Operational state of one micro-mirror.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MirrorState {
+    /// In service, steering a port.
+    Active,
+    /// Qualified at manufacturing but held as a spare.
+    Spare,
+    /// Failed qualification (bad loss, stiction, dead actuator).
+    RejectedAtFab,
+    /// Failed in the field (stuck or drifting); needs spare swap.
+    Failed,
+}
+
+/// One micro-mirror with its quality figure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mirror {
+    /// Intrinsic excess loss of this mirror at perfect pointing, dB —
+    /// mirror curvature/roughness variation from fabrication.
+    pub intrinsic_loss_db: f64,
+    /// Current state.
+    pub state: MirrorState,
+}
+
+/// A MEMS die: 176 fabricated mirrors, the best 136 active.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemsDie {
+    mirrors: Vec<Mirror>,
+    /// `port_to_mirror[p]` = index of the mirror currently serving port p.
+    port_to_mirror: Vec<usize>,
+}
+
+impl MemsDie {
+    /// Fabricates the production Palomar die: [`FABRICATED_MIRRORS`]
+    /// fabricated, best [`SERVICE_MIRRORS`] in service.
+    pub fn fabricate(seed: u64, yield_prob: f64) -> Result<MemsDie, DieYieldError> {
+        Self::fabricate_sized(seed, yield_prob, FABRICATED_MIRRORS, SERVICE_MIRRORS)
+    }
+
+    /// Fabricates a die of arbitrary size — e.g. the §6 next-generation
+    /// 300-port part ("our current internal development efforts to
+    /// manufacture a larger 300×300 MEMS-based OCS").
+    ///
+    /// `yield_prob` is the probability a fabricated mirror qualifies at
+    /// all; fabrication fails if fewer than `service` mirrors qualify.
+    pub fn fabricate_sized(
+        seed: u64,
+        yield_prob: f64,
+        fabricated: usize,
+        service: usize,
+    ) -> Result<MemsDie, DieYieldError> {
+        assert!(
+            (0.0..=1.0).contains(&yield_prob),
+            "yield must be a probability"
+        );
+        assert!(
+            service <= fabricated,
+            "cannot field more mirrors than fabricated"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let loss_dist = Normal::<f64>::new(0.25, 0.08).expect("valid sigma");
+        let mut mirrors: Vec<Mirror> = (0..fabricated)
+            .map(|_| {
+                let qualifies = rng.random_bool(yield_prob);
+                Mirror {
+                    intrinsic_loss_db: loss_dist.sample(&mut rng).max(0.05),
+                    state: if qualifies {
+                        MirrorState::Spare
+                    } else {
+                        MirrorState::RejectedAtFab
+                    },
+                }
+            })
+            .collect();
+
+        // Rank qualified mirrors by loss; the best `service` go active.
+        let mut qualified: Vec<usize> = (0..fabricated)
+            .filter(|&i| mirrors[i].state == MirrorState::Spare)
+            .collect();
+        if qualified.len() < service {
+            return Err(DieYieldError {
+                qualified: qualified.len(),
+                needed: service,
+            });
+        }
+        qualified.sort_by(|&a, &b| {
+            mirrors[a]
+                .intrinsic_loss_db
+                .partial_cmp(&mirrors[b].intrinsic_loss_db)
+                .expect("losses are finite")
+        });
+        let port_to_mirror: Vec<usize> = qualified[..service].to_vec();
+        for &m in &port_to_mirror {
+            mirrors[m].state = MirrorState::Active;
+        }
+        Ok(MemsDie {
+            mirrors,
+            port_to_mirror,
+        })
+    }
+
+    /// The mirror currently serving `port`.
+    ///
+    /// # Panics
+    /// Panics if `port ≥ 136`.
+    pub fn mirror_for_port(&self, port: usize) -> &Mirror {
+        &self.mirrors[self.port_to_mirror[port]]
+    }
+
+    /// Number of healthy spares remaining.
+    pub fn spares_remaining(&self) -> usize {
+        self.mirrors
+            .iter()
+            .filter(|m| m.state == MirrorState::Spare)
+            .count()
+    }
+
+    /// Number of ports this die serves.
+    pub fn service_ports(&self) -> usize {
+        self.port_to_mirror.len()
+    }
+
+    /// Marks the mirror serving `port` failed and swaps in the best spare.
+    ///
+    /// Returns `true` if a spare was available (port restored), `false` if
+    /// the die is out of spares (port permanently degraded — a field
+    /// replacement of the whole core is needed).
+    pub fn fail_and_swap(&mut self, port: usize) -> bool {
+        let old = self.port_to_mirror[port];
+        self.mirrors[old].state = MirrorState::Failed;
+        let best_spare = (0..self.mirrors.len())
+            .filter(|&i| self.mirrors[i].state == MirrorState::Spare)
+            .min_by(|&a, &b| {
+                self.mirrors[a]
+                    .intrinsic_loss_db
+                    .partial_cmp(&self.mirrors[b].intrinsic_loss_db)
+                    .expect("losses are finite")
+            });
+        match best_spare {
+            Some(s) => {
+                self.mirrors[s].state = MirrorState::Active;
+                self.port_to_mirror[port] = s;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Count of mirrors in each state `(active, spare, rejected, failed)`.
+    pub fn census(&self) -> (usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0);
+        for m in &self.mirrors {
+            match m.state {
+                MirrorState::Active => c.0 += 1,
+                MirrorState::Spare => c.1 += 1,
+                MirrorState::RejectedAtFab => c.2 += 1,
+                MirrorState::Failed => c.3 += 1,
+            }
+        }
+        c
+    }
+}
+
+/// A die failed fabrication: not enough qualifying mirrors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DieYieldError {
+    /// How many mirrors qualified.
+    pub qualified: usize,
+    /// How many were needed.
+    pub needed: usize,
+}
+
+impl std::fmt::Display for DieYieldError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "die yield failure: only {} mirrors qualified (need {})",
+            self.qualified, self.needed
+        )
+    }
+}
+
+impl std::error::Error for DieYieldError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fabrication_activates_best_136() {
+        let die = MemsDie::fabricate(1, 0.95).expect("95% yield fabricates");
+        let (active, spare, rejected, failed) = die.census();
+        assert_eq!(active, SERVICE_MIRRORS);
+        assert_eq!(active + spare + rejected + failed, FABRICATED_MIRRORS);
+        assert_eq!(failed, 0);
+        // Every active mirror is at least as good as every spare.
+        let worst_active = (0..SERVICE_MIRRORS)
+            .map(|p| die.mirror_for_port(p).intrinsic_loss_db)
+            .fold(0.0f64, f64::max);
+        let best_spare = die
+            .mirrors
+            .iter()
+            .filter(|m| m.state == MirrorState::Spare)
+            .map(|m| m.intrinsic_loss_db)
+            .fold(f64::INFINITY, f64::min);
+        assert!(worst_active <= best_spare + 1e-12);
+    }
+
+    #[test]
+    fn low_yield_fails_fabrication() {
+        // At 50% yield, expect ~88 qualified of 176 — not enough.
+        let err = MemsDie::fabricate(2, 0.5).unwrap_err();
+        assert!(err.qualified < SERVICE_MIRRORS);
+    }
+
+    #[test]
+    fn spare_swap_restores_port() {
+        let mut die = MemsDie::fabricate(3, 0.95).unwrap();
+        let spares_before = die.spares_remaining();
+        assert!(spares_before > 0, "healthy die has spares");
+        let old_loss = die.mirror_for_port(7).intrinsic_loss_db;
+        assert!(die.fail_and_swap(7));
+        assert_eq!(die.spares_remaining(), spares_before - 1);
+        assert_eq!(die.mirror_for_port(7).state, MirrorState::Active);
+        // Swapped-in spare is (weakly) worse than the original best pick.
+        assert!(die.mirror_for_port(7).intrinsic_loss_db >= old_loss - 1e-12);
+    }
+
+    #[test]
+    fn exhausting_spares_reports_failure() {
+        let mut die = MemsDie::fabricate(4, 0.95).unwrap();
+        let mut port = 0usize;
+        while die.spares_remaining() > 0 {
+            assert!(die.fail_and_swap(port % SERVICE_MIRRORS));
+            port += 1;
+        }
+        assert!(!die.fail_and_swap(0), "no spares left");
+    }
+
+    #[test]
+    fn next_gen_300_port_die_fabricates() {
+        // §6: the 300×300 part needs ~380 fabricated mirrors at 95% yield
+        // to field 300 with spares left over.
+        let die = MemsDie::fabricate_sized(21, 0.95, 380, 300).expect("yields");
+        assert_eq!(die.service_ports(), 300);
+        assert!(die.spares_remaining() > 20);
+    }
+
+    #[test]
+    fn fabrication_is_deterministic_per_seed() {
+        let a = MemsDie::fabricate(9, 0.95).unwrap();
+        let b = MemsDie::fabricate(9, 0.95).unwrap();
+        assert_eq!(a, b);
+    }
+}

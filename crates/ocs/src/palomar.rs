@@ -1,0 +1,611 @@
+//! The Palomar OCS facade: optical core + crossbar + chassis + telemetry
+//! under one simulation clock.
+
+use crate::camera::AlignmentLoop;
+use crate::chassis::Chassis;
+use crate::crossbar::{ConnectionState, Crossbar, CrossbarError, PortId, PortMapping};
+use crate::loss::OpticalCore;
+use crate::telemetry::{AlarmCode, Severity, Telemetry};
+use lightwave_units::{Db, Nanos};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Errors from OCS operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OcsError {
+    /// Crossbar-level failure.
+    Crossbar(CrossbarError),
+    /// The chassis is not operational (e.g. dual PSU failure).
+    ChassisDown,
+    /// The port is degraded (failed HV driver, exhausted mirror spares).
+    PortDegraded(PortId),
+}
+
+impl From<CrossbarError> for OcsError {
+    fn from(e: CrossbarError) -> Self {
+        OcsError::Crossbar(e)
+    }
+}
+
+impl std::fmt::Display for OcsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OcsError::Crossbar(e) => write!(f, "crossbar: {e}"),
+            OcsError::ChassisDown => write!(f, "chassis not operational"),
+            OcsError::PortDegraded(p) => write!(f, "port {p} degraded"),
+        }
+    }
+}
+
+impl std::error::Error for OcsError {}
+
+/// What a bulk reconfiguration did.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReconfigReport {
+    /// Circuits torn down (north ports).
+    pub removed: Vec<PortId>,
+    /// Circuits newly established.
+    pub added: Vec<(PortId, PortId)>,
+    /// Circuits left untouched — their light never blinked.
+    pub untouched: usize,
+    /// Simulation time at which every new circuit is aligned and carrying.
+    pub ready_at: Nanos,
+}
+
+/// Snapshot of switch health.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OcsHealth {
+    /// Chassis operational?
+    pub operational: bool,
+    /// Live circuits.
+    pub circuits: usize,
+    /// Circuits still aligning.
+    pub pending: usize,
+    /// Degraded (unusable) ports.
+    pub degraded_ports: Vec<PortId>,
+    /// Remaining mirror spares (north die, south die).
+    pub mirror_spares: (usize, usize),
+    /// Present power draw, watts.
+    pub power_w: f64,
+}
+
+/// Loss drift (dB) above which a spare-mirror swap raises a HighLoss
+/// anomaly alarm. The mirror population is tight (σ ≈ 0.08 dB), so even
+/// the bottom of the spare barrel is only ~0.2 dB worse than as-built —
+/// small, but the bidi link budget is counted in tenths (§3.2.1's "optical
+/// link budget is a precious commodity"), hence the tight threshold.
+pub const DRIFT_ALARM_DB: f64 = 0.12;
+
+/// A simulated Palomar optical circuit switch.
+#[derive(Debug)]
+pub struct PalomarOcs {
+    id: u32,
+    now: Nanos,
+    core: OpticalCore,
+    crossbar: Crossbar,
+    chassis: Chassis,
+    telemetry: Telemetry,
+    align: AlignmentLoop,
+    rng: StdRng,
+    /// north port → time its circuit finishes aligning.
+    pending: BTreeMap<PortId, Nanos>,
+    /// Ports unusable due to exhausted spares.
+    dead_ports: BTreeSet<PortId>,
+}
+
+impl PalomarOcs {
+    /// Builds switch `id` with a deterministic manufacturing seed.
+    pub fn new(id: u32, seed: u64) -> PalomarOcs {
+        Self::with_ports(id, seed, crate::TOTAL_PORTS)
+    }
+
+    /// Builds a switch with an arbitrary radix — e.g. the §6
+    /// next-generation 300×300 part. The system-level architecture
+    /// "abstracts the underlying physical mechanisms" (§7): everything
+    /// above the optical core is radix-agnostic.
+    pub fn with_ports(id: u32, seed: u64, ports: usize) -> PalomarOcs {
+        PalomarOcs {
+            id,
+            now: Nanos(0),
+            core: OpticalCore::fabricate(ports, seed),
+            crossbar: Crossbar::new(ports),
+            chassis: Chassis::new(),
+            telemetry: Telemetry::new(),
+            align: AlignmentLoop::default(),
+            rng: StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A_0F0F_F0F0),
+            pending: BTreeMap::new(),
+            dead_ports: BTreeSet::new(),
+        }
+    }
+
+    /// Switch identity.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Ports per side.
+    pub fn ports(&self) -> usize {
+        self.crossbar.ports()
+    }
+
+    /// Telemetry surface.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The optical core (for loss census etc.).
+    pub fn optical_core(&self) -> &OpticalCore {
+        &self.core
+    }
+
+    /// Current port mapping.
+    pub fn mapping(&self) -> PortMapping {
+        self.crossbar.mapping()
+    }
+
+    /// Whether the data plane is up at all.
+    pub fn is_up(&self) -> bool {
+        self.chassis.is_operational()
+    }
+
+    fn check_usable(&self, p: PortId) -> Result<(), OcsError> {
+        if self.dead_ports.contains(&p) {
+            return Err(OcsError::PortDegraded(p));
+        }
+        if self.chassis.degraded_ports().contains(&p) {
+            return Err(OcsError::PortDegraded(p));
+        }
+        Ok(())
+    }
+
+    /// Establishes a circuit North `n` → South `s`. Returns the time at
+    /// which the circuit will be aligned and carrying light.
+    pub fn connect(&mut self, n: PortId, s: PortId) -> Result<Nanos, OcsError> {
+        if !self.chassis.is_operational() {
+            return Err(OcsError::ChassisDown);
+        }
+        self.check_usable(n)?;
+        self.check_usable(s)?;
+        self.crossbar.connect(n, s)?;
+        let ready = self.run_alignment(n);
+        self.telemetry.counters.connects += 1;
+        Ok(ready)
+    }
+
+    /// Runs the camera loop for the circuit on north port `n`, registering
+    /// it as pending; returns the ready time.
+    fn run_alignment(&mut self, n: PortId) -> Nanos {
+        self.telemetry.counters.alignments += 1;
+        let mut attempts = 0;
+        let mut elapsed = Nanos(0);
+        loop {
+            let conv = self.align.converge(0.01, &mut self.rng);
+            elapsed += conv.switching_time;
+            attempts += 1;
+            if conv.converged {
+                break;
+            }
+            self.telemetry.counters.alignment_failures += 1;
+            self.telemetry.raise(
+                self.now,
+                Severity::Warning,
+                AlarmCode::AlignmentTimeout { north: n },
+            );
+            if attempts >= 3 {
+                break; // leave pending; health shows it stuck
+            }
+        }
+        let ready = self.now + elapsed;
+        self.pending.insert(n, ready);
+        ready
+    }
+
+    /// Tears down the circuit on North port `n`.
+    pub fn disconnect(&mut self, n: PortId) -> Result<(), OcsError> {
+        self.crossbar.disconnect(n)?;
+        self.pending.remove(&n);
+        self.telemetry.counters.disconnects += 1;
+        Ok(())
+    }
+
+    /// Applies a target mapping as a minimal delta: circuits present in
+    /// both old and new configurations are never touched.
+    pub fn apply_mapping(&mut self, target: &PortMapping) -> Result<ReconfigReport, OcsError> {
+        if !self.chassis.is_operational() {
+            return Err(OcsError::ChassisDown);
+        }
+        self.crossbar.validate(target)?;
+        for (n, s) in target.pairs() {
+            self.check_usable(n)?;
+            self.check_usable(s)?;
+        }
+        let delta = self.crossbar.delta_to(target);
+        for &n in &delta.remove {
+            self.crossbar.disconnect(n)?;
+            self.pending.remove(&n);
+            self.telemetry.counters.disconnects += 1;
+        }
+        let mut ready_at = self.now;
+        for &(n, s) in &delta.add {
+            self.crossbar.connect(n, s)?;
+            let ready = self.run_alignment(n);
+            self.telemetry.counters.connects += 1;
+            ready_at = ready_at.max(ready);
+        }
+        self.telemetry.counters.reconfigs += 1;
+        self.telemetry.counters.circuits_preserved += delta.unchanged.len() as u64;
+        Ok(ReconfigReport {
+            removed: delta.remove,
+            added: delta.add,
+            untouched: delta.unchanged.len(),
+            ready_at,
+        })
+    }
+
+    /// Advances simulation time, completing any alignments that finish.
+    pub fn advance(&mut self, dt: Nanos) {
+        self.now += dt;
+        let now = self.now;
+        let finished: Vec<PortId> = self
+            .pending
+            .iter()
+            .filter(|&(_, &t)| t <= now)
+            .map(|(&n, _)| n)
+            .collect();
+        for n in finished {
+            self.pending.remove(&n);
+            // The circuit may have been torn down while aligning.
+            if self.crossbar.circuit(n).is_some() {
+                self.crossbar
+                    .mark_connected(n)
+                    .expect("pending circuit exists");
+            }
+        }
+    }
+
+    /// Whether the circuit on north port `n` is aligned and carrying light.
+    pub fn circuit_ready(&self, n: PortId) -> bool {
+        matches!(
+            self.crossbar.circuit(n),
+            Some((_, ConnectionState::Connected))
+        )
+    }
+
+    /// Insertion loss of the live circuit on north port `n`.
+    pub fn insertion_loss(&self, n: PortId) -> Option<Db> {
+        let (s, _) = self.crossbar.circuit(n)?;
+        let mut il = self.core.insertion_loss(n as usize, s as usize);
+        if let Some((_, ConnectionState::Connecting)) = self.crossbar.circuit(n) {
+            // Unconverged pointing adds excess loss.
+            il += Db(6.0);
+        }
+        Some(il)
+    }
+
+    /// Fails the mirror serving `port` on the chosen die, swapping in a
+    /// spare if one remains. Live circuits on the port are re-aligned.
+    pub fn fail_mirror(&mut self, north_die: bool, port: PortId) {
+        self.telemetry.counters.mirror_failures += 1;
+        let die = if north_die {
+            &mut self.core.die_north
+        } else {
+            &mut self.core.die_south
+        };
+        let spare_used = die.fail_and_swap(port as usize);
+        if spare_used {
+            self.telemetry.counters.spares_consumed += 1;
+        } else {
+            self.dead_ports.insert(port);
+        }
+        self.telemetry.raise(
+            self.now,
+            if spare_used {
+                Severity::Warning
+            } else {
+                Severity::Critical
+            },
+            AlarmCode::MirrorFailed {
+                north_die,
+                port,
+                spare_used,
+            },
+        );
+        // Any circuit using the port must re-align onto the new mirror.
+        if spare_used {
+            let affected: Option<PortId> = if north_die {
+                self.crossbar.circuit(port).map(|_| port)
+            } else {
+                self.crossbar.south_owner(port)
+            };
+            if let Some(n) = affected {
+                // Demote to Connecting and re-run the camera loop.
+                let (s, _) = self.crossbar.circuit(n).expect("affected circuit exists");
+                self.crossbar.disconnect(n).expect("exists");
+                self.crossbar.connect(n, s).expect("ports were just freed");
+                self.run_alignment(n);
+                // Anomaly detection: a drifted path eats link budget even
+                // though the circuit "works" — surface it before the
+                // transceiver margin does (§3.2.2).
+                if self.core.port_drift(north_die, port as usize).db() > DRIFT_ALARM_DB {
+                    let loss = self.core.insertion_loss(n as usize, s as usize);
+                    self.telemetry.raise(
+                        self.now,
+                        Severity::Warning,
+                        AlarmCode::HighLoss {
+                            north: n,
+                            south: s,
+                            loss_db: loss.db(),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Ports whose serving mirror has drifted more than `threshold` dB
+    /// from the as-built baseline — the proactive-maintenance list.
+    pub fn drift_report(&self, threshold: Db) -> Vec<(bool, PortId, Db)> {
+        let mut out = Vec::new();
+        for port in 0..self.ports() {
+            for north in [true, false] {
+                let d = self.core.port_drift(north, port);
+                if d.db() > threshold.db() {
+                    out.push((north, port as PortId, d));
+                }
+            }
+        }
+        out
+    }
+
+    /// Fails a chassis FRU slot.
+    pub fn fail_fru(&mut self, slot: usize) {
+        self.chassis.fail_slot(slot);
+        self.telemetry
+            .raise(self.now, Severity::Warning, AlarmCode::FruFailed { slot });
+        if !self.chassis.is_operational() {
+            self.telemetry
+                .raise(self.now, Severity::Critical, AlarmCode::ChassisDown);
+        }
+    }
+
+    /// Field-replaces a FRU slot; circuits whose mirror state was dropped
+    /// by the swap re-align automatically.
+    pub fn replace_fru(&mut self, slot: usize) {
+        let effect = self.chassis.replace_slot(slot);
+        for port in effect.disturbed_ports {
+            if self.crossbar.circuit(port).is_some() {
+                let (s, _) = self.crossbar.circuit(port).expect("checked");
+                self.crossbar.disconnect(port).expect("exists");
+                self.crossbar.connect(port, s).expect("just freed");
+                self.run_alignment(port);
+            }
+        }
+    }
+
+    /// Health snapshot.
+    pub fn health(&self) -> OcsHealth {
+        let mut degraded: Vec<PortId> = self.dead_ports.iter().copied().collect();
+        degraded.extend(self.chassis.degraded_ports());
+        degraded.sort_unstable();
+        degraded.dedup();
+        OcsHealth {
+            operational: self.chassis.is_operational(),
+            circuits: self.crossbar.circuit_count(),
+            pending: self.pending.len(),
+            degraded_ports: degraded,
+            mirror_spares: (
+                self.core.die_north.spares_remaining(),
+                self.core.die_south.spares_remaining(),
+            ),
+            power_w: self.chassis.power_draw_w(self.crossbar.circuit_count()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn settled(ocs: &mut PalomarOcs) {
+        ocs.advance(Nanos::from_millis(200));
+    }
+
+    #[test]
+    fn connect_aligns_then_carries() {
+        let mut ocs = PalomarOcs::new(0, 42);
+        let ready = ocs.connect(3, 77).unwrap();
+        assert!(!ocs.circuit_ready(3), "must align first");
+        assert!(ready > Nanos(0));
+        ocs.advance(ready);
+        assert!(ocs.circuit_ready(3));
+        let il = ocs.insertion_loss(3).unwrap();
+        assert!(il.db() < 4.0, "aligned circuit loss {il} sane");
+    }
+
+    #[test]
+    fn reconfig_preserves_untouched_circuits() {
+        let mut ocs = PalomarOcs::new(0, 1);
+        ocs.connect(0, 10).unwrap();
+        ocs.connect(1, 11).unwrap();
+        settled(&mut ocs);
+        assert!(ocs.circuit_ready(0) && ocs.circuit_ready(1));
+        // New mapping keeps 0→10, moves 1→20, adds 2→12.
+        let target = PortMapping::from_pairs([(0, 10), (1, 20), (2, 12)]).unwrap();
+        let report = ocs.apply_mapping(&target).unwrap();
+        assert_eq!(report.untouched, 1);
+        assert_eq!(report.removed, vec![1]);
+        assert_eq!(report.added, vec![(1, 20), (2, 12)]);
+        // The untouched circuit is *still carrying light* mid-reconfig.
+        assert!(ocs.circuit_ready(0), "non-disruption guarantee violated");
+        assert!(!ocs.circuit_ready(1), "moved circuit must re-align");
+        settled(&mut ocs);
+        assert!(ocs.circuit_ready(1) && ocs.circuit_ready(2));
+    }
+
+    #[test]
+    fn switching_time_is_ms_class() {
+        let mut ocs = PalomarOcs::new(0, 9);
+        let ready = ocs.connect(0, 0).unwrap();
+        let ms = ready.as_millis_f64();
+        assert!((5.0..60.0).contains(&ms), "switching time {ms} ms");
+    }
+
+    #[test]
+    fn chassis_failure_blocks_new_circuits() {
+        let mut ocs = PalomarOcs::new(0, 2);
+        ocs.fail_fru(0);
+        ocs.fail_fru(1); // both PSUs
+        assert!(!ocs.is_up());
+        assert_eq!(ocs.connect(0, 1), Err(OcsError::ChassisDown));
+        let crit = ocs
+            .telemetry()
+            .alarms_at_least(crate::telemetry::Severity::Critical)
+            .count();
+        assert_eq!(crit, 1, "ChassisDown alarm raised");
+    }
+
+    #[test]
+    fn mirror_failure_consumes_spare_and_realigns() {
+        let mut ocs = PalomarOcs::new(0, 3);
+        ocs.connect(5, 50).unwrap();
+        settled(&mut ocs);
+        assert!(ocs.circuit_ready(5));
+        let spares_before = ocs.health().mirror_spares.0;
+        ocs.fail_mirror(true, 5);
+        assert_eq!(ocs.health().mirror_spares.0, spares_before - 1);
+        assert!(!ocs.circuit_ready(5), "circuit re-aligning on spare mirror");
+        settled(&mut ocs);
+        assert!(ocs.circuit_ready(5), "spare restored the circuit");
+    }
+
+    #[test]
+    fn south_die_mirror_failure_realigns_owner() {
+        let mut ocs = PalomarOcs::new(0, 8);
+        ocs.connect(7, 70).unwrap();
+        settled(&mut ocs);
+        ocs.fail_mirror(false, 70);
+        assert!(!ocs.circuit_ready(7));
+        settled(&mut ocs);
+        assert!(ocs.circuit_ready(7));
+    }
+
+    #[test]
+    fn exhausted_spares_kill_the_port() {
+        let mut ocs = PalomarOcs::new(0, 4);
+        // Burn all north-die spares on port 9.
+        while ocs.health().mirror_spares.0 > 0 {
+            ocs.fail_mirror(true, 9);
+        }
+        ocs.fail_mirror(true, 9); // one more: no spare left
+        assert_eq!(ocs.connect(9, 1), Err(OcsError::PortDegraded(9)));
+        assert!(ocs.health().degraded_ports.contains(&9));
+    }
+
+    #[test]
+    fn hv_driver_swap_realigns_its_ports() {
+        let mut ocs = PalomarOcs::new(0, 5);
+        ocs.connect(2, 40).unwrap(); // port 2 is in HV group 0 (ports 0..34)
+        ocs.connect(100, 101).unwrap(); // port 100 in a different group
+        settled(&mut ocs);
+        // Fail + replace HV driver slot 6 (first driver, ports 0..34).
+        ocs.fail_fru(6);
+        assert_eq!(ocs.connect(3, 41), Err(OcsError::PortDegraded(3)));
+        ocs.replace_fru(6);
+        assert!(
+            !ocs.circuit_ready(2),
+            "swap drops mirror state for its group"
+        );
+        assert!(ocs.circuit_ready(100), "other groups unaffected");
+        settled(&mut ocs);
+        assert!(ocs.circuit_ready(2));
+    }
+
+    #[test]
+    fn power_is_a_fraction_of_eps() {
+        let mut ocs = PalomarOcs::new(0, 6);
+        for i in 0..64u16 {
+            ocs.connect(i, i + 64).unwrap();
+        }
+        let h = ocs.health();
+        assert!(h.power_w <= crate::chassis::MAX_POWER_W);
+        assert_eq!(h.circuits, 64);
+    }
+
+    #[test]
+    fn telemetry_counts_reconfigs_and_preservation() {
+        let mut ocs = PalomarOcs::new(0, 7);
+        let m1 = PortMapping::from_pairs([(0, 1), (2, 3)]).unwrap();
+        ocs.apply_mapping(&m1).unwrap();
+        settled(&mut ocs);
+        let m2 = PortMapping::from_pairs([(0, 1), (2, 4)]).unwrap();
+        ocs.apply_mapping(&m2).unwrap();
+        let c = &ocs.telemetry().counters;
+        assert_eq!(c.reconfigs, 2);
+        assert_eq!(c.circuits_preserved, 1); // (0,1) survived
+        assert_eq!(c.connects, 3);
+        assert_eq!(c.disconnects, 1);
+    }
+
+    #[test]
+    fn next_gen_300_port_switch_works() {
+        // §6: the 300×300 development part drops into the same stack.
+        let mut ocs = PalomarOcs::with_ports(1, 77, 300);
+        assert_eq!(ocs.ports(), 300);
+        let ready = ocs.connect(299, 0).unwrap();
+        ocs.advance(ready);
+        assert!(ocs.circuit_ready(299));
+        assert!(ocs.insertion_loss(299).unwrap().db() < 4.5);
+        // Full 300-circuit permutation is realizable (still non-blocking).
+        for i in 0..299u16 {
+            ocs.connect(i, i + 1).unwrap();
+        }
+        assert_eq!(ocs.health().circuits, 300);
+    }
+
+    #[test]
+    fn drift_anomalies_surface_after_spare_churn() {
+        let mut ocs = PalomarOcs::new(0, 12);
+        ocs.connect(5, 50).unwrap();
+        settled(&mut ocs);
+        // Churn spares until the drift alarm fires (the spare pool is
+        // quality-ordered, so repeated failures walk down the barrel).
+        let mut fired = false;
+        for _ in 0..ocs.health().mirror_spares.0 {
+            ocs.fail_mirror(true, 5);
+            settled(&mut ocs);
+            let high_loss = ocs
+                .telemetry()
+                .alarms()
+                .iter()
+                .any(|a| matches!(a.code, crate::telemetry::AlarmCode::HighLoss { .. }));
+            if high_loss {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "enough spare churn must trip the HighLoss anomaly");
+        let report = ocs.drift_report(lightwave_units::Db(DRIFT_ALARM_DB));
+        assert!(
+            report.iter().any(|&(north, port, _)| north && port == 5),
+            "the drift report lists the churned port: {report:?}"
+        );
+        // Fresh ports report no drift.
+        assert!(report.iter().all(|&(_, port, _)| port == 5));
+    }
+
+    #[test]
+    fn disconnect_while_aligning_is_clean() {
+        let mut ocs = PalomarOcs::new(0, 10);
+        ocs.connect(4, 44).unwrap();
+        ocs.disconnect(4).unwrap(); // still aligning
+        settled(&mut ocs); // must not panic on vanished pending circuit
+        assert!(ocs.mapping().is_empty());
+    }
+}

@@ -1,0 +1,388 @@
+//! Analytic PAM4/NRZ direct-detection BER model with MPI beat noise and the
+//! OIM (optical interference mitigation) DSP notch filter of §3.3.2.
+//!
+//! The receiver model follows standard IM-DD link-budget practice:
+//!
+//! * the M amplitude levels are equally spaced between `P_min` and `P_max`
+//!   set by the average power and extinction ratio;
+//! * each level carries thermal (input-referred TIA), shot, and RIN noise;
+//! * MPI adds a *signal-proportional* beat-noise term: the interferer's
+//!   carrier beats against the signal carrier at the photodiode, producing
+//!   noise with σ² ∝ m·P_level·P_avg. Because it scales with signal power,
+//!   raising launch power cannot out-run it — MPI produces BER *floors*,
+//!   which is exactly the behaviour Fig. 11 shows for −26 dB MPI;
+//! * decision thresholds sit at the noise-weighted midpoints, giving the
+//!   standard `BER = (2 / (M·log₂M)) · Σ_eyes Q(ΔI / (σ_lo + σ_hi))`.
+//!
+//! OIM reconstructs the narrow-band carrier-to-carrier beat in the digital
+//! domain and removes it with a tracked notch filter (§4.1.2, patent
+//! US10084547B2). We model it as a power suppression of the beat term with
+//! a small wideband residual that the notch cannot capture.
+
+use crate::modulation::LaneRate;
+use lightwave_units::{math, Ber, Db, Dbm};
+use serde::{Deserialize, Serialize};
+
+/// Electron charge, coulombs.
+const Q_ELECTRON: f64 = 1.602_176_634e-19;
+
+/// Configuration of the OIM notch-filter DSP block.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OimConfig {
+    /// Power suppression of the tracked narrow-band beat component, dB
+    /// (positive number; applied as attenuation).
+    pub suppression: Db,
+    /// Fraction of the beat power that is wide-band (outside the notch) and
+    /// therefore survives regardless of suppression depth.
+    pub wideband_residual: f64,
+}
+
+impl Default for OimConfig {
+    fn default() -> Self {
+        OimConfig {
+            suppression: Db(13.0),
+            wideband_residual: 0.02,
+        }
+    }
+}
+
+impl OimConfig {
+    /// Effective multiplicative factor applied to the MPI power ratio.
+    pub fn mpi_power_factor(&self) -> f64 {
+        let suppressed = (1.0 - self.wideband_residual) * (-self.suppression).linear();
+        suppressed + self.wideband_residual
+    }
+}
+
+/// A direct-detection receiver for one WDM lane.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pam4Receiver {
+    /// Lane rate (sets baud, bandwidth, and level count).
+    pub rate: LaneRate,
+    /// Photodiode responsivity, A/W.
+    pub responsivity: f64,
+    /// Input-referred TIA noise current density, A/√Hz.
+    pub thermal_noise_density: f64,
+    /// Laser relative intensity noise, linear 1/Hz (e.g. 1e-14 = −140 dB/Hz).
+    pub rin: f64,
+    /// Transmitter extinction ratio, linear (P_max / P_min).
+    pub extinction_ratio: f64,
+    /// Polarization/coherence factor for MPI beating, in [0, 1].
+    pub mpi_xi: f64,
+    /// Implementation penalty applied to received power, dB (TDECQ-style
+    /// lump for equalizer noise enhancement, jitter, etc.).
+    pub implementation_penalty: Db,
+}
+
+impl Pam4Receiver {
+    /// A calibrated 50 Gb/s PAM4 receiver (one lane of the 200 Gb/s CWDM4
+    /// link evaluated in Fig. 11).
+    pub fn cwdm4_50g() -> Pam4Receiver {
+        Pam4Receiver {
+            rate: LaneRate::Pam4_50,
+            responsivity: 0.85,
+            thermal_noise_density: 18e-12,
+            rin: 1e-14,
+            extinction_ratio: 4.0, // 6 dB
+            // Worst-case co-polarized beating; the paper's tight component
+            // specs are driven by exactly this corner.
+            mpi_xi: 1.0,
+            implementation_penalty: Db(1.0),
+        }
+    }
+
+    /// A calibrated 100 Gb/s PAM4 receiver (one lane of the CWDM8 module).
+    pub fn cwdm8_100g() -> Pam4Receiver {
+        Pam4Receiver {
+            rate: LaneRate::Pam4_100,
+            responsivity: 0.8,
+            thermal_noise_density: 20e-12,
+            rin: 1e-14,
+            extinction_ratio: 4.0,
+            mpi_xi: 1.0,
+            implementation_penalty: Db(1.5),
+        }
+    }
+
+    /// Receiver electrical bandwidth in Hz.
+    pub fn bandwidth_hz(&self) -> f64 {
+        self.rate.rx_bandwidth().ghz() * 1e9
+    }
+
+    /// The M optical level powers (in watts) for a given received average
+    /// power, equally spaced between the extinction-ratio extremes.
+    pub fn level_powers_w(&self, received: Dbm) -> Vec<f64> {
+        let effective = received - self.implementation_penalty;
+        let p_avg_w = effective.milliwatts().mw() * 1e-3;
+        let er = self.extinction_ratio;
+        let p_min = 2.0 * p_avg_w / (er + 1.0);
+        let p_max = er * p_min;
+        let m = self.rate.line_code().levels();
+        (0..m)
+            .map(|i| p_min + (p_max - p_min) * i as f64 / (m - 1) as f64)
+            .collect()
+    }
+
+    /// Noise standard deviation (amps) at a given optical level power.
+    fn sigma_at_level(&self, p_level_w: f64, p_avg_w: f64, mpi_ratio: f64) -> f64 {
+        let b = self.bandwidth_hz();
+        let i_level = self.responsivity * p_level_w;
+        let thermal = self.thermal_noise_density * self.thermal_noise_density * b;
+        let shot = 2.0 * Q_ELECTRON * i_level * b;
+        let rin = self.rin * i_level * i_level * b;
+        // Carrier-carrier beat: i_beat = 2R√(P_level·P_mpi)·cos φ with
+        // P_mpi = m·P_avg; mean-square over φ and polarization gives
+        // σ² = 2·ξ·m·R²·P_level·P_avg.
+        let mpi = 2.0
+            * self.mpi_xi
+            * mpi_ratio
+            * self.responsivity
+            * self.responsivity
+            * p_level_w
+            * p_avg_w;
+        (thermal + shot + rin + mpi).sqrt()
+    }
+
+    /// Pre-FEC BER at a received average power, for a given linear MPI
+    /// interferer-to-signal ratio, with optional OIM mitigation.
+    pub fn ber(&self, received: Dbm, mpi_ratio: f64, oim: Option<OimConfig>) -> Ber {
+        assert!(
+            mpi_ratio >= 0.0 && mpi_ratio.is_finite(),
+            "MPI ratio must be finite and >= 0, got {mpi_ratio}"
+        );
+        let m_eff = match oim {
+            Some(cfg) => mpi_ratio * cfg.mpi_power_factor(),
+            None => mpi_ratio,
+        };
+        let levels = self.level_powers_w(received);
+        let m = levels.len();
+        let p_avg_w = levels.iter().sum::<f64>() / m as f64;
+        let delta_i = self.responsivity * (levels[m - 1] - levels[0]) / (m - 1) as f64;
+        let sigmas: Vec<f64> = levels
+            .iter()
+            .map(|&p| self.sigma_at_level(p, p_avg_w, m_eff))
+            .collect();
+        let mut sum_q = 0.0;
+        for t in 0..(m - 1) {
+            let q_arg = delta_i / (sigmas[t] + sigmas[t + 1]);
+            sum_q += math::q_function(q_arg);
+        }
+        let bits = self.rate.line_code().bits_per_symbol() as f64;
+        Ber::new(2.0 * sum_q / (m as f64 * bits))
+    }
+
+    /// The decision thresholds (in amps) used by the analytic model — the
+    /// noise-weighted midpoints between adjacent levels. Exposed so the
+    /// Monte-Carlo simulator slices with the same thresholds.
+    pub fn thresholds(&self, received: Dbm, mpi_ratio: f64, oim: Option<OimConfig>) -> Vec<f64> {
+        let m_eff = match oim {
+            Some(cfg) => mpi_ratio * cfg.mpi_power_factor(),
+            None => mpi_ratio,
+        };
+        let levels = self.level_powers_w(received);
+        let m = levels.len();
+        let p_avg_w = levels.iter().sum::<f64>() / m as f64;
+        let currents: Vec<f64> = levels.iter().map(|&p| self.responsivity * p).collect();
+        let sigmas: Vec<f64> = levels
+            .iter()
+            .map(|&p| self.sigma_at_level(p, p_avg_w, m_eff))
+            .collect();
+        (0..m - 1)
+            .map(|t| {
+                (currents[t] * sigmas[t + 1] + currents[t + 1] * sigmas[t])
+                    / (sigmas[t] + sigmas[t + 1])
+            })
+            .collect()
+    }
+
+    /// Receiver sensitivity: the lowest received power achieving
+    /// `target` BER, found by bisection over [−30, +5] dBm.
+    ///
+    /// Returns `None` if the target is unreachable at any power (an MPI
+    /// induced BER floor above the target).
+    pub fn sensitivity(&self, target: Ber, mpi_ratio: f64, oim: Option<OimConfig>) -> Option<Dbm> {
+        let (mut lo, mut hi) = (-30.0f64, 5.0f64);
+        if self.ber(Dbm(hi), mpi_ratio, oim).prob() > target.prob() {
+            return None; // floor above target
+        }
+        if self.ber(Dbm(lo), mpi_ratio, oim).prob() <= target.prob() {
+            return Some(Dbm(lo)); // already sensitive at the bottom of range
+        }
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if self.ber(Dbm(mid), mpi_ratio, oim).prob() > target.prob() {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(Dbm(hi))
+    }
+}
+
+/// Convenience: full BER model bundling a receiver with an MPI operating
+/// point, as used by the figure-reproduction harness.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BerModel {
+    /// The receiver.
+    pub receiver: Pam4Receiver,
+    /// Linear interferer-to-signal MPI ratio.
+    pub mpi_ratio: f64,
+    /// OIM configuration, if the DSP block is enabled.
+    pub oim: Option<OimConfig>,
+}
+
+impl BerModel {
+    /// BER at a received power.
+    pub fn ber(&self, received: Dbm) -> Ber {
+        self.receiver.ber(received, self.mpi_ratio, self.oim)
+    }
+
+    /// Sensitivity at a target BER.
+    pub fn sensitivity(&self, target: Ber) -> Option<Dbm> {
+        self.receiver.sensitivity(target, self.mpi_ratio, self.oim)
+    }
+}
+
+/// Converts an MPI level quoted in dB (e.g. −32.0) to the linear ratio.
+pub fn mpi_db(db: f64) -> f64 {
+    Db(db).linear()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ber_decreases_with_power_without_mpi() {
+        let rx = Pam4Receiver::cwdm4_50g();
+        let mut prev = 1.0;
+        for p in [-16.0, -14.0, -12.0, -10.0, -8.0] {
+            let ber = rx.ber(Dbm(p), 0.0, None).prob();
+            assert!(ber < prev, "BER must fall as power rises (p={p})");
+            prev = ber;
+        }
+    }
+
+    #[test]
+    fn clean_sensitivity_is_plausible_for_50g_pam4() {
+        let rx = Pam4Receiver::cwdm4_50g();
+        let s = rx.sensitivity(Ber::KP4_THRESHOLD, 0.0, None).unwrap();
+        assert!(
+            (-16.0..=-9.0).contains(&s.dbm()),
+            "50G PAM4 KP4 sensitivity {s} outside plausible window"
+        );
+    }
+
+    #[test]
+    fn mpi_minus26_causes_floor_above_kp4() {
+        // Fig. 11: the worst MPI condition cannot reach the KP4 threshold
+        // without OIM — a BER floor.
+        let rx = Pam4Receiver::cwdm4_50g();
+        assert!(
+            rx.sensitivity(Ber::KP4_THRESHOLD, mpi_db(-26.0), None)
+                .is_none(),
+            "-26 dB MPI should floor above 2e-4 without OIM"
+        );
+        // ... and OIM rescues it.
+        assert!(rx
+            .sensitivity(
+                Ber::KP4_THRESHOLD,
+                mpi_db(-26.0),
+                Some(OimConfig::default())
+            )
+            .is_some());
+    }
+
+    #[test]
+    fn oim_gain_exceeds_1db_at_minus32() {
+        // §4.1.2: "for an MPI value of −32 dB, and a bit error rate of
+        // 2×10⁻⁴ ... the algorithm improves the receiver sensitivity by
+        // more than 1 dB".
+        let rx = Pam4Receiver::cwdm4_50g();
+        let without = rx
+            .sensitivity(Ber::KP4_THRESHOLD, mpi_db(-32.0), None)
+            .unwrap();
+        let with = rx
+            .sensitivity(
+                Ber::KP4_THRESHOLD,
+                mpi_db(-32.0),
+                Some(OimConfig::default()),
+            )
+            .unwrap();
+        let gain = (without - with).db();
+        assert!(gain > 1.0, "OIM gain {gain:.2} dB should exceed 1 dB");
+        assert!(gain < 4.0, "OIM gain {gain:.2} dB implausibly large");
+    }
+
+    #[test]
+    fn oim_is_nearly_free_when_mpi_is_negligible() {
+        let rx = Pam4Receiver::cwdm4_50g();
+        let without = rx
+            .sensitivity(Ber::KP4_THRESHOLD, mpi_db(-55.0), None)
+            .unwrap();
+        let with = rx
+            .sensitivity(
+                Ber::KP4_THRESHOLD,
+                mpi_db(-55.0),
+                Some(OimConfig::default()),
+            )
+            .unwrap();
+        assert!((without - with).db().abs() < 0.1);
+    }
+
+    #[test]
+    fn stronger_mpi_always_raises_ber() {
+        let rx = Pam4Receiver::cwdm4_50g();
+        let p = Dbm(-10.0);
+        let mut prev = 0.0;
+        for db in [-45.0, -38.0, -32.0, -26.0] {
+            let ber = rx.ber(p, mpi_db(db), None).prob();
+            assert!(ber >= prev, "BER must be monotone in MPI");
+            prev = ber;
+        }
+    }
+
+    #[test]
+    fn thresholds_are_strictly_increasing() {
+        let rx = Pam4Receiver::cwdm4_50g();
+        let th = rx.thresholds(Dbm(-10.0), mpi_db(-32.0), None);
+        assert_eq!(th.len(), 3);
+        assert!(th.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn oim_factor_bounded_by_residual() {
+        let cfg = OimConfig {
+            suppression: Db(40.0),
+            wideband_residual: 0.02,
+        };
+        let f = cfg.mpi_power_factor();
+        assert!(f >= 0.02 && f < 0.021, "residual floors the factor: {f}");
+    }
+
+    #[test]
+    fn nrz_outperforms_pam4_at_same_power() {
+        // NRZ has one eye spanning the full OMA; PAM4 splits it in three.
+        let pam4 = Pam4Receiver::cwdm4_50g();
+        let nrz = Pam4Receiver {
+            rate: LaneRate::Nrz25,
+            ..pam4
+        };
+        let p = Dbm(-14.0);
+        assert!(nrz.ber(p, 0.0, None).prob() < pam4.ber(p, 0.0, None).prob());
+    }
+
+    #[test]
+    fn sensitivity_bisection_brackets_target() {
+        let rx = Pam4Receiver::cwdm4_50g();
+        let s = rx
+            .sensitivity(Ber::KP4_THRESHOLD, mpi_db(-32.0), None)
+            .unwrap();
+        let at = rx.ber(s, mpi_db(-32.0), None).prob();
+        assert!(
+            (at / Ber::KP4_THRESHOLD.prob() - 1.0).abs() < 0.01,
+            "BER at sensitivity {at:.3e} should sit on the threshold"
+        );
+    }
+}

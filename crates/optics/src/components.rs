@@ -1,0 +1,203 @@
+//! Optical components characterized by insertion loss and return loss.
+//!
+//! Two numbers rule the paper's hardware design: how much light a component
+//! eats (insertion loss — the OCS must stay under ~3 dB, §3.2.1) and how much
+//! it reflects back up the fiber (return loss — must stay under −38 dB
+//! because reflections become in-band interference on bidirectional links,
+//! §4.1.1). Every component here carries both, and the [`crate::mpi`] module
+//! turns the reflections into an interference budget.
+
+use lightwave_units::Db;
+use rand::rngs::StdRng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+/// The kind of an optical component in a link path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ComponentKind {
+    /// A mated fiber connector (e.g. LC/MPO at a patch panel).
+    Connector,
+    /// A fusion splice.
+    Splice,
+    /// A thin-film wavelength multiplexer (per §3.3.1: low-loss mux).
+    WdmMux,
+    /// A thin-film wavelength demultiplexer.
+    WdmDemux,
+    /// One pass through an optical circulator (port 1→2 or 2→3).
+    CirculatorPass,
+    /// One pass through an OCS optical core (collimators + two mirrors).
+    OcsPass,
+    /// A fiber span; loss scales with length.
+    FiberSpan,
+}
+
+/// An optical component instance with its loss characteristics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Component {
+    /// What this component is.
+    pub kind: ComponentKind,
+    /// Insertion loss (positive dB = loss).
+    pub insertion_loss: Db,
+    /// Return loss, expressed as a *negative* dB reflectance (e.g. −46 dB
+    /// means 10⁻⁴·⁶ of incident power is reflected). More negative = better.
+    pub return_loss: Db,
+}
+
+impl Component {
+    /// Nominal (data-sheet typical) component of the given kind.
+    ///
+    /// Values follow the paper where stated (OCS: < 2 dB typical IL,
+    /// −46 dB typical RL) and industry-typical datasheets elsewhere.
+    pub fn nominal(kind: ComponentKind) -> Component {
+        let (il, rl) = match kind {
+            ComponentKind::Connector => (0.25, -45.0),
+            ComponentKind::Splice => (0.05, -60.0),
+            ComponentKind::WdmMux => (1.0, -50.0),
+            ComponentKind::WdmDemux => (1.0, -50.0),
+            ComponentKind::CirculatorPass => (0.8, -50.0),
+            ComponentKind::OcsPass => (1.6, -46.0),
+            ComponentKind::FiberSpan => (0.35, -70.0), // per-km O-band fiber
+        };
+        Component {
+            kind,
+            insertion_loss: Db(il),
+            return_loss: Db(rl),
+        }
+    }
+
+    /// A fiber span of the given length in km (0.35 dB/km O-band attenuation;
+    /// Rayleigh backscatter folded into a single effective return loss).
+    pub fn fiber_span(km: f64) -> Component {
+        assert!(
+            km >= 0.0 && km.is_finite(),
+            "fiber length must be >= 0, got {km}"
+        );
+        Component {
+            kind: ComponentKind::FiberSpan,
+            insertion_loss: Db(0.35 * km),
+            return_loss: Db(-70.0),
+        }
+    }
+
+    /// Samples a manufacturing-varied instance of the component.
+    ///
+    /// Insertion loss varies log-normally-ish (here: Gaussian in dB, clipped
+    /// at ≥ 0); return loss varies Gaussian in dB. The sigmas reproduce the
+    /// spread visible in Fig. 10 (most OCS paths < 2 dB with a tail from
+    /// "fiber splice and connector loss variation").
+    pub fn sampled(kind: ComponentKind, rng: &mut StdRng) -> Component {
+        let nominal = Component::nominal(kind);
+        let (il_sigma, rl_sigma) = match kind {
+            ComponentKind::Connector => (0.12, 2.5),
+            ComponentKind::Splice => (0.03, 3.0),
+            ComponentKind::WdmMux | ComponentKind::WdmDemux => (0.15, 2.0),
+            ComponentKind::CirculatorPass => (0.1, 2.0),
+            ComponentKind::OcsPass => (0.25, 2.0),
+            ComponentKind::FiberSpan => (0.02, 2.0),
+        };
+        let il_dist = Normal::new(nominal.insertion_loss.db(), il_sigma)
+            .expect("sigma is positive and finite");
+        let rl_dist =
+            Normal::new(nominal.return_loss.db(), rl_sigma).expect("sigma is positive and finite");
+        Component {
+            kind,
+            insertion_loss: Db(il_dist.sample(rng).max(0.01)),
+            // Clip so a lucky sample cannot claim a physically silly
+            // reflectance better than -80 dB or worse than -20 dB.
+            return_loss: Db(rl_dist.sample(rng).clamp(-80.0, -20.0)),
+        }
+    }
+
+    /// Linear power transmission through the component.
+    pub fn transmission(&self) -> f64 {
+        (-self.insertion_loss).linear()
+    }
+
+    /// Linear power reflectance of the component.
+    pub fn reflectance(&self) -> f64 {
+        self.return_loss.linear()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nominal_ocs_pass_matches_paper() {
+        let c = Component::nominal(ComponentKind::OcsPass);
+        assert!(
+            c.insertion_loss.db() < 2.0,
+            "OCS IL should be < 2 dB typical"
+        );
+        assert_eq!(c.return_loss.db(), -46.0, "OCS RL typical is -46 dB");
+    }
+
+    #[test]
+    fn fiber_span_scales_with_length() {
+        let f = Component::fiber_span(2.0);
+        assert!((f.insertion_loss.db() - 0.7).abs() < 1e-12);
+        assert_eq!(Component::fiber_span(0.0).insertion_loss.db(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fiber length")]
+    fn fiber_span_rejects_negative() {
+        let _ = Component::fiber_span(-1.0);
+    }
+
+    #[test]
+    fn transmission_and_reflectance_are_linear() {
+        let c = Component {
+            kind: ComponentKind::Connector,
+            insertion_loss: Db(3.0103),
+            return_loss: Db(-30.0),
+        };
+        assert!((c.transmission() - 0.5).abs() < 1e-4);
+        assert!((c.reflectance() - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let ca = Component::sampled(ComponentKind::OcsPass, &mut a);
+        let cb = Component::sampled(ComponentKind::OcsPass, &mut b);
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn sampled_losses_stay_physical() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..2000 {
+            let c = Component::sampled(ComponentKind::OcsPass, &mut rng);
+            assert!(
+                c.insertion_loss.db() > 0.0,
+                "insertion loss must be positive"
+            );
+            assert!(
+                (-80.0..=-20.0).contains(&c.return_loss.db()),
+                "return loss clipped to physical range"
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_mean_tracks_nominal() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 5000;
+        let mean: f64 = (0..n)
+            .map(|_| {
+                Component::sampled(ComponentKind::OcsPass, &mut rng)
+                    .insertion_loss
+                    .db()
+            })
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (mean - 1.6).abs() < 0.05,
+            "sampled mean {mean} drifted from nominal"
+        );
+    }
+}

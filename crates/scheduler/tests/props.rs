@@ -1,0 +1,81 @@
+//! Property tests for allocation and simulation.
+
+use lightwave_scheduler::alloc::{cube_at, Allocation, GRID};
+use lightwave_scheduler::sim::default_mix;
+use lightwave_scheduler::{Allocator, ClusterSim, Contiguous, Pooled};
+use lightwave_superpod::slice::SliceShape;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn is_box(alloc: &Allocation) -> bool {
+    let xs: Vec<usize> = alloc.iter().map(|&c| c as usize % GRID).collect();
+    let ys: Vec<usize> = alloc.iter().map(|&c| (c as usize / GRID) % GRID).collect();
+    let zs: Vec<usize> = alloc.iter().map(|&c| c as usize / (GRID * GRID)).collect();
+    let span = |v: &[usize]| v.iter().max().unwrap() - v.iter().min().unwrap() + 1;
+    span(&xs) * span(&ys) * span(&zs) == alloc.len()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pooled_allocations_are_exact_and_idle(
+        busy_mask in proptest::collection::btree_set(0u8..64, 0..48),
+        p in 1usize..=4, q in 1usize..=4, r in 1usize..=4,
+    ) {
+        let idle: BTreeSet<u8> = (0..64).filter(|c| !busy_mask.contains(c)).collect();
+        let shape = SliceShape::new(4 * p, 4 * q, 4 * r).expect("valid");
+        match Pooled.allocate(shape, &idle) {
+            Some(alloc) => {
+                prop_assert_eq!(alloc.len(), shape.cube_count());
+                let distinct: BTreeSet<u8> = alloc.iter().copied().collect();
+                prop_assert_eq!(distinct.len(), alloc.len());
+                prop_assert!(alloc.iter().all(|c| idle.contains(c)));
+            }
+            None => prop_assert!(idle.len() < shape.cube_count()),
+        }
+    }
+
+    #[test]
+    fn contiguous_allocations_are_boxes(
+        busy_mask in proptest::collection::btree_set(0u8..64, 0..40),
+        p in 1usize..=4, q in 1usize..=4, r in 1usize..=4,
+    ) {
+        let idle: BTreeSet<u8> = (0..64).filter(|c| !busy_mask.contains(c)).collect();
+        let shape = SliceShape::new(4 * p, 4 * q, 4 * r).expect("valid");
+        if let Some(alloc) = Contiguous.allocate(shape, &idle) {
+            prop_assert_eq!(alloc.len(), shape.cube_count());
+            prop_assert!(alloc.iter().all(|c| idle.contains(c)));
+            prop_assert!(is_box(&alloc), "contiguous allocation must be a box: {alloc:?}");
+        }
+    }
+
+    #[test]
+    fn pooled_succeeds_whenever_contiguous_does(
+        busy_mask in proptest::collection::btree_set(0u8..64, 0..40),
+        p in 1usize..=4, q in 1usize..=4, r in 1usize..=4,
+    ) {
+        let idle: BTreeSet<u8> = (0..64).filter(|c| !busy_mask.contains(c)).collect();
+        let shape = SliceShape::new(4 * p, 4 * q, 4 * r).expect("valid");
+        if Contiguous.allocate(shape, &idle).is_some() {
+            prop_assert!(Pooled.allocate(shape, &idle).is_some());
+        }
+    }
+
+    #[test]
+    fn simulation_utilization_is_bounded(seed in 0u64..40, interarrival in 0.2f64..4.0) {
+        let sim = ClusterSim::new(default_mix(), interarrival);
+        let r = sim.run(&Pooled, 300.0, seed);
+        prop_assert!((0.0..=1.0).contains(&r.utilization));
+        prop_assert!(r.mean_wait_hours >= 0.0);
+        prop_assert_eq!(r.fragmentation_stalls, 0, "pooling cannot fragment");
+    }
+
+    #[test]
+    fn cube_at_is_a_bijection(x in 0usize..4, y in 0usize..4, z in 0usize..4) {
+        let c = cube_at(x, y, z) as usize;
+        prop_assert_eq!(c % 4, x);
+        prop_assert_eq!((c / 4) % 4, y);
+        prop_assert_eq!(c / 16, z);
+    }
+}

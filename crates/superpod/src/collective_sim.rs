@@ -1,0 +1,231 @@
+//! Step-level collective simulation on the chip torus.
+//!
+//! The α-β formulas in [`crate::collective`] assume every link is equal.
+//! Real fabrics are not: an OCS circuit on a spare mirror runs hotter on
+//! loss, a marginal lane drops to a lower negotiated rate, and — because
+//! ring collectives are *synchronous* — one slow link stalls every chip in
+//! the ring at every step. This simulator executes a torus all-reduce
+//! round by round against a caller-supplied per-link bandwidth map and
+//! reports where the time went, which both validates the analytic model
+//! (uniform map ⇒ same numbers) and quantifies the straggler effect the
+//! paper's availability machinery exists to avoid.
+
+use crate::slice::SliceShape;
+use crate::torus::{Chip, Torus};
+use serde::{Deserialize, Serialize};
+
+/// Per-link bandwidth oracle: bytes/second for the link leaving `chip`
+/// in `±dim` (`forward`).
+pub trait LinkBandwidth {
+    /// Bandwidth of one directed link.
+    fn bandwidth(&self, chip: Chip, dim: usize, forward: bool) -> f64;
+}
+
+/// Uniform bandwidth everywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Uniform(pub f64);
+
+impl LinkBandwidth for Uniform {
+    fn bandwidth(&self, _chip: Chip, _dim: usize, _forward: bool) -> f64 {
+        self.0
+    }
+}
+
+/// Uniform bandwidth with one derated (straggler) directed link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WithStraggler {
+    /// The healthy bandwidth.
+    pub base: f64,
+    /// The straggler's location.
+    pub chip: Chip,
+    /// The straggler's dimension.
+    pub dim: usize,
+    /// The straggler's bandwidth.
+    pub derated: f64,
+}
+
+impl LinkBandwidth for WithStraggler {
+    fn bandwidth(&self, chip: Chip, dim: usize, forward: bool) -> f64 {
+        if forward && chip == self.chip && dim == self.dim {
+            self.derated
+        } else {
+            self.base
+        }
+    }
+}
+
+/// Outcome of a simulated collective.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimOutcome {
+    /// Total seconds.
+    pub total: f64,
+    /// Seconds per phase (one reduce-scatter or all-gather per dimension).
+    pub phase_times: Vec<f64>,
+    /// Synchronous ring steps executed.
+    pub steps: usize,
+}
+
+/// Simulates the bandwidth-optimal multi-dimensional ring all-reduce of
+/// `bytes` (per chip) over `dims` of the slice torus, with per-step
+/// synchronization: each step's duration is set by the slowest active
+/// link (chunk / min-bandwidth + hop latency).
+///
+/// # Panics
+/// Panics if `dims` is empty or names a dimension ≥ 3.
+pub fn simulate_torus_all_reduce<B: LinkBandwidth>(
+    shape: SliceShape,
+    bytes: f64,
+    dims: &[usize],
+    bw: &B,
+    hop_latency: f64,
+) -> SimOutcome {
+    assert!(!dims.is_empty(), "need at least one dimension");
+    assert!(dims.iter().all(|&d| d < 3), "dimension out of range");
+    let torus = Torus::new(shape);
+    let mut phase_times = Vec::new();
+    let mut steps = 0usize;
+    let mut payload = bytes;
+
+    // One phase = reduce-scatter over dims in order, then all-gather in
+    // reverse; each ring step moves `payload / ring_len` per chip.
+    let mut run_phase = |payload: f64, dim: usize, torus: &Torus| -> (f64, usize) {
+        let len = shape.chips[dim];
+        if len <= 1 {
+            return (0.0, 0);
+        }
+        let chunk = payload / len as f64;
+        let mut phase = 0.0;
+        // (len − 1) synchronized steps; in each, every chip forwards one
+        // chunk along +dim. The step completes when the slowest link does.
+        for _ in 0..(len - 1) {
+            let mut slowest = f64::INFINITY;
+            for x in 0..shape.chips[0] {
+                for y in 0..shape.chips[1] {
+                    for z in 0..shape.chips[2] {
+                        let chip = Chip { coords: [x, y, z] };
+                        slowest = slowest.min(bw.bandwidth(chip, dim, true));
+                    }
+                }
+            }
+            assert!(slowest > 0.0, "links must have positive bandwidth");
+            phase += chunk / slowest + hop_latency;
+            steps += 1;
+        }
+        let _ = torus;
+        (phase, len - 1)
+    };
+
+    for &d in dims {
+        let (t, _) = run_phase(payload, d, &torus);
+        phase_times.push(t);
+        payload /= shape.chips[d].max(1) as f64;
+    }
+    for &d in dims.iter().rev() {
+        payload *= shape.chips[d].max(1) as f64;
+        let (t, _) = run_phase(payload, d, &torus);
+        phase_times.push(t);
+    }
+
+    SimOutcome {
+        total: phase_times.iter().sum(),
+        phase_times,
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collective::{torus_all_reduce, IciParams};
+
+    fn shape(a: usize, b: usize, c: usize) -> SliceShape {
+        SliceShape::new(a, b, c).expect("valid")
+    }
+
+    #[test]
+    fn uniform_simulation_matches_analytic_model() {
+        // With equal links, the step simulator and the α-β formula are the
+        // same arithmetic — they must agree to float precision.
+        let p = IciParams::tpu_v4();
+        let bytes = 512e6;
+        let s = shape(16, 16, 16);
+        let sim = simulate_torus_all_reduce(
+            s,
+            bytes,
+            &[0, 1, 2],
+            &Uniform(p.ring_bandwidth()),
+            p.hop_latency,
+        );
+        let analytic = torus_all_reduce(bytes, &[16, 16, 16], &p);
+        assert!(
+            (sim.total / analytic - 1.0).abs() < 1e-9,
+            "sim {} vs analytic {}",
+            sim.total,
+            analytic
+        );
+    }
+
+    #[test]
+    fn one_straggler_stalls_the_whole_collective() {
+        // A single 4×-derated link in one ring dimension drags every step
+        // of that dimension's phases to its speed.
+        let base = 100e9;
+        let healthy =
+            simulate_torus_all_reduce(shape(8, 8, 8), 256e6, &[0, 1, 2], &Uniform(base), 300e-9);
+        let straggler = WithStraggler {
+            base,
+            chip: Chip { coords: [3, 5, 2] },
+            dim: 0,
+            derated: base / 4.0,
+        };
+        let degraded =
+            simulate_torus_all_reduce(shape(8, 8, 8), 256e6, &[0, 1, 2], &straggler, 300e-9);
+        assert!(degraded.total > healthy.total * 1.5, "straggler must bite");
+        // Only the dim-0 phases (first and last) slow down.
+        assert!(degraded.phase_times[0] > healthy.phase_times[0] * 3.0);
+        assert!((degraded.phase_times[1] / healthy.phase_times[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn swapping_out_the_bad_cube_recovers_performance() {
+        // The §4.2.2 loop at collective granularity: reconfiguring the
+        // slice onto a healthy cube removes the straggler entirely.
+        let base = 100e9;
+        // Straggle the first dimension — it carries the full payload, so
+        // the damage is maximal (the worst case a scheduler must react to).
+        let straggler = WithStraggler {
+            base,
+            chip: Chip { coords: [0, 0, 0] },
+            dim: 0,
+            derated: base / 10.0,
+        };
+        let degraded =
+            simulate_torus_all_reduce(shape(8, 8, 8), 128e6, &[0, 1, 2], &straggler, 300e-9);
+        let recovered =
+            simulate_torus_all_reduce(shape(8, 8, 8), 128e6, &[0, 1, 2], &Uniform(base), 300e-9);
+        assert!(degraded.total > 2.0 * recovered.total);
+    }
+
+    #[test]
+    fn step_count_is_deterministic() {
+        let sim =
+            simulate_torus_all_reduce(shape(4, 8, 16), 64e6, &[0, 1, 2], &Uniform(100e9), 0.0);
+        // 2 × ((4−1) + (8−1) + (16−1)) = 50 steps.
+        assert_eq!(sim.steps, 50);
+        assert_eq!(sim.phase_times.len(), 6);
+    }
+
+    #[test]
+    fn single_chip_dimensions_are_free() {
+        let sim = simulate_torus_all_reduce(shape(4, 4, 4), 64e6, &[0], &Uniform(100e9), 300e-9);
+        assert!(sim.total > 0.0);
+        let sub = simulate_torus_all_reduce(shape(4, 4, 4), 64e6, &[0, 1], &Uniform(100e9), 300e-9);
+        assert!(sub.total > sim.total, "more dimensions cost more phases");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension out of range")]
+    fn bad_dimension_rejected() {
+        let _ = simulate_torus_all_reduce(shape(4, 4, 4), 1.0, &[3], &Uniform(1e9), 0.0);
+    }
+}

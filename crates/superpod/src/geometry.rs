@@ -1,0 +1,134 @@
+//! Cubes, dimensions, and pod constants.
+
+use serde::{Deserialize, Serialize};
+
+/// Chips along one edge of an elemental cube.
+pub const CUBE_EDGE: usize = 4;
+/// Chips per elemental cube (4×4×4 = 64, one rack).
+pub const CHIPS_PER_CUBE: usize = CUBE_EDGE * CUBE_EDGE * CUBE_EDGE;
+/// Cubes in a full superpod.
+pub const POD_CUBES: usize = 64;
+/// Chips in a full superpod (64² = 4096).
+pub const POD_CHIPS: usize = POD_CUBES * CHIPS_PER_CUBE;
+/// Optical links per cube face (4×4 chip positions).
+pub const LINKS_PER_FACE: usize = CUBE_EDGE * CUBE_EDGE;
+
+/// An elemental cube (= one rack) within the pod, 0..63.
+pub type CubeId = u8;
+
+/// A torus dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Dim {
+    /// First dimension.
+    X,
+    /// Second dimension.
+    Y,
+    /// Third dimension.
+    Z,
+}
+
+impl Dim {
+    /// All dimensions in order.
+    pub const ALL: [Dim; 3] = [Dim::X, Dim::Y, Dim::Z];
+
+    /// Index 0/1/2.
+    pub fn index(self) -> usize {
+        match self {
+            Dim::X => 0,
+            Dim::Y => 1,
+            Dim::Z => 2,
+        }
+    }
+}
+
+/// Position of a chip inside its cube, each coordinate in 0..4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ChipInCube {
+    /// x within cube.
+    pub x: u8,
+    /// y within cube.
+    pub y: u8,
+    /// z within cube.
+    pub z: u8,
+}
+
+impl ChipInCube {
+    /// From a linear index 0..64 (x fastest).
+    pub fn from_index(i: usize) -> ChipInCube {
+        assert!(i < CHIPS_PER_CUBE, "chip index {i} out of range");
+        ChipInCube {
+            x: (i % CUBE_EDGE) as u8,
+            y: ((i / CUBE_EDGE) % CUBE_EDGE) as u8,
+            z: (i / (CUBE_EDGE * CUBE_EDGE)) as u8,
+        }
+    }
+
+    /// Linear index 0..64.
+    pub fn index(self) -> usize {
+        self.x as usize + CUBE_EDGE * (self.y as usize + CUBE_EDGE * self.z as usize)
+    }
+
+    /// The face-link index (0..16) this chip uses when its `dim`
+    /// coordinate is at a cube boundary: the position within the 4×4 face,
+    /// ordered by the two non-`dim` coordinates.
+    pub fn face_link_index(self, dim: Dim) -> usize {
+        let (a, b) = match dim {
+            Dim::X => (self.y, self.z),
+            Dim::Y => (self.x, self.z),
+            Dim::Z => (self.x, self.y),
+        };
+        a as usize + CUBE_EDGE * b as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_paper() {
+        assert_eq!(CHIPS_PER_CUBE, 64);
+        assert_eq!(POD_CHIPS, 4096);
+        assert_eq!(LINKS_PER_FACE, 16);
+        // 96 optical links per cube = 6 faces × 16.
+        assert_eq!(6 * LINKS_PER_FACE, 96);
+    }
+
+    #[test]
+    fn chip_index_roundtrip() {
+        for i in 0..CHIPS_PER_CUBE {
+            assert_eq!(ChipInCube::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn face_link_indices_cover_the_face() {
+        // The 16 chips on the +X face (x == 3) map onto 16 distinct links.
+        let mut seen = [false; LINKS_PER_FACE];
+        for i in 0..CHIPS_PER_CUBE {
+            let c = ChipInCube::from_index(i);
+            if c.x == 3 {
+                let k = c.face_link_index(Dim::X);
+                assert!(!seen[k], "duplicate face link {k}");
+                seen[k] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn opposite_faces_use_same_link_index() {
+        // A chip at x=0 and the chip at x=3 with the same (y,z) share a
+        // face-link index — that is what lets opposing faces land on the
+        // same OCS and close rings.
+        let a = ChipInCube { x: 0, y: 2, z: 1 };
+        let b = ChipInCube { x: 3, y: 2, z: 1 };
+        assert_eq!(a.face_link_index(Dim::X), b.face_link_index(Dim::X));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_chip_index_panics() {
+        let _ = ChipInCube::from_index(64);
+    }
+}

@@ -1,0 +1,269 @@
+//! Hybrid ICI-DCN scale-out: training across multiple superpods (§2.2.2).
+//!
+//! Models too large for one pod combine the scale-up ICI fabric with the
+//! scale-out DCN (Fig. 2): collectives run *within* each pod on the ICI
+//! torus and *between* pods over the datacenter network. The two fabrics
+//! are wildly asymmetric — "the scale-up ICI within a superpod provides
+//! 50–100× more bandwidth than the DCN" — so the cross-pod phase of a
+//! collective is the critical path, and the paper's end-to-end
+//! optimization (adapting collectives to the bandwidth ratio, Fig. 2c's
+//! *two counter-rotating rings*, and DCN topology engineering for the
+//! pod-to-pod trunks) is what keeps it tolerable.
+//!
+//! The canonical hierarchical all-reduce across `M` pods:
+//!
+//! 1. reduce-scatter inside each pod over the ICI dimensions;
+//! 2. all-reduce of the scattered shards across pods over the DCN
+//!    (Fig. 2c: the shards travel two rings at once);
+//! 3. all-gather inside each pod, mirroring step 1.
+
+use crate::collective::{ring_all_gather, ring_reduce_scatter, IciParams};
+use serde::{Deserialize, Serialize};
+
+/// DCN resources available to one pod for the training job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DcnParams {
+    /// Aggregate pod-to-pod bandwidth per pod, bytes/second (the hosts'
+    /// DCN NICs, after topology engineering grants the trunks).
+    pub pod_bandwidth: f64,
+    /// Pod-to-pod one-way latency, seconds.
+    pub latency: f64,
+    /// Whether the collective runs two counter-rotating rings (Fig. 2c's
+    /// red and blue), doubling usable bandwidth.
+    pub two_rings: bool,
+}
+
+impl DcnParams {
+    /// A representative production configuration: the job's share of the
+    /// pod's DCN trunks ≈ 300 GB/s (what keeps the ICI:DCN bisection
+    /// asymmetry in the paper's 50–100× band), 10 µs across the
+    /// datacenter floor, two-ring collectives on.
+    pub fn production() -> DcnParams {
+        DcnParams {
+            pod_bandwidth: 300e9,
+            latency: 10e-6,
+            two_rings: true,
+        }
+    }
+
+    /// Effective ring bandwidth.
+    pub fn ring_bandwidth(&self) -> f64 {
+        if self.two_rings {
+            2.0 * self.pod_bandwidth
+        } else {
+            self.pod_bandwidth
+        }
+    }
+}
+
+/// Time breakdown of a hybrid all-reduce.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HybridAllReduce {
+    /// Intra-pod reduce-scatter seconds (ICI).
+    pub ici_reduce_scatter: f64,
+    /// Cross-pod all-reduce seconds (DCN) — usually the critical path.
+    pub dcn_phase: f64,
+    /// Intra-pod all-gather seconds (ICI).
+    pub ici_all_gather: f64,
+}
+
+impl HybridAllReduce {
+    /// Total seconds.
+    pub fn total(&self) -> f64 {
+        self.ici_reduce_scatter + self.dcn_phase + self.ici_all_gather
+    }
+
+    /// Fraction of the time spent on the DCN.
+    pub fn dcn_fraction(&self) -> f64 {
+        self.dcn_phase / self.total()
+    }
+}
+
+/// Hierarchical all-reduce of `bytes` (per pod replica) across `pods`
+/// pods, each scattering internally over ICI rings of `ici_dims`.
+///
+/// # Panics
+/// Panics unless `pods ≥ 1` and `ici_dims` is non-empty.
+pub fn hybrid_all_reduce(
+    bytes: f64,
+    ici_dims: &[usize],
+    pods: usize,
+    ici: &IciParams,
+    dcn: &DcnParams,
+) -> HybridAllReduce {
+    assert!(pods >= 1, "need at least one pod");
+    assert!(!ici_dims.is_empty(), "need ICI dimensions");
+    // 1. Intra-pod reduce-scatter, dimension by dimension.
+    let mut ici_rs = 0.0;
+    let mut payload = bytes;
+    for &len in ici_dims {
+        ici_rs += ring_reduce_scatter(payload, len, ici);
+        payload /= len as f64;
+    }
+    // 2. Cross-pod all-reduce of the scattered shards. Every chip holds
+    // `payload` bytes; in aggregate each pod exchanges `bytes` over its
+    // DCN trunks in a ring of `pods` members.
+    let dcn_phase = if pods > 1 {
+        let steps = (pods - 1) as f64;
+        2.0 * steps * (bytes / pods as f64) / dcn.ring_bandwidth() + 2.0 * steps * dcn.latency
+    } else {
+        0.0
+    };
+    // 3. Intra-pod all-gather, mirroring step 1.
+    let mut ici_ag = 0.0;
+    for &len in ici_dims.iter().rev() {
+        payload *= len as f64;
+        ici_ag += ring_all_gather(payload, len, ici);
+    }
+    HybridAllReduce {
+        ici_reduce_scatter: ici_rs,
+        dcn_phase,
+        ici_all_gather: ici_ag,
+    }
+}
+
+/// The ICI:DCN bandwidth asymmetry for a pod: ICI *bisection* bandwidth
+/// of the symmetric torus versus the pod's DCN bandwidth. The paper
+/// quotes 50–100× (§2.2).
+pub fn bandwidth_asymmetry(pod_chips: usize, ici: &IciParams, dcn: &DcnParams) -> f64 {
+    // A symmetric 3D torus of N chips has 2·N^(2/3) links across its
+    // narrowest cut (forward + wraparound).
+    let bisection_links = 2.0 * (pod_chips as f64).powf(2.0 / 3.0);
+    bisection_links * ici.link_bandwidth / dcn.pod_bandwidth
+}
+
+/// Scaling efficiency of data parallelism across pods: throughput with
+/// `pods` pods relative to `pods`× a single pod, for a step of
+/// `compute_secs` and a gradient all-reduce of `grad_bytes` (per pod).
+///
+/// With more pods the batch (and compute per pod) stays fixed — weak
+/// scaling — so efficiency is pure communication dilution.
+pub fn scaling_efficiency(
+    compute_secs: f64,
+    grad_bytes: f64,
+    ici_dims: &[usize],
+    pods: usize,
+    ici: &IciParams,
+    dcn: &DcnParams,
+) -> f64 {
+    assert!(compute_secs > 0.0);
+    let single = compute_secs + hybrid_all_reduce(grad_bytes, ici_dims, 1, ici, dcn).total();
+    let multi = compute_secs + hybrid_all_reduce(grad_bytes, ici_dims, pods, ici, dcn).total();
+    single / multi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: f64 = 1e9;
+
+    fn ici() -> IciParams {
+        IciParams::tpu_v4()
+    }
+
+    fn dcn() -> DcnParams {
+        DcnParams::production()
+    }
+
+    #[test]
+    fn single_pod_has_no_dcn_phase() {
+        let r = hybrid_all_reduce(10.0 * GB, &[16, 16, 16], 1, &ici(), &dcn());
+        assert_eq!(r.dcn_phase, 0.0);
+        assert!(r.total() > 0.0);
+    }
+
+    #[test]
+    fn dcn_is_on_the_critical_path() {
+        // §2.2.2: "the transfers over the DCN network during c) are still
+        // on the critical path and delays can substantially affect the
+        // model throughput" — the cross-pod phase is a material, blocking
+        // fraction of the collective even though the DCN moves a 4096×
+        // smaller shard per chip.
+        let r = hybrid_all_reduce(10.0 * GB, &[16, 16, 16], 4, &ici(), &dcn());
+        assert!(
+            r.dcn_fraction() > 0.1,
+            "DCN fraction {:.2} should be material",
+            r.dcn_fraction()
+        );
+        // And it is pure overhead versus single-pod training.
+        let single = hybrid_all_reduce(10.0 * GB, &[16, 16, 16], 1, &ici(), &dcn());
+        assert!(r.total() > 1.1 * single.total());
+    }
+
+    #[test]
+    fn bandwidth_asymmetry_matches_paper_range() {
+        // "the scale-up ICI within a superpod provides 50–100× more
+        // bandwidth than the DCN".
+        let asym = bandwidth_asymmetry(4096, &ici(), &dcn());
+        assert!(
+            (50.0..=400.0).contains(&asym),
+            "asymmetry {asym:.0}× out of plausible range"
+        );
+    }
+
+    #[test]
+    fn two_rings_halve_the_dcn_phase() {
+        let one = DcnParams {
+            two_rings: false,
+            ..dcn()
+        };
+        let r1 = hybrid_all_reduce(10.0 * GB, &[16, 16], 4, &ici(), &one);
+        let r2 = hybrid_all_reduce(10.0 * GB, &[16, 16], 4, &ici(), &dcn());
+        let ratio = r1.dcn_phase / r2.dcn_phase;
+        assert!((1.9..2.05).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn more_pods_approach_bandwidth_asymptote() {
+        // Ring all-reduce over M pods costs 2·(M−1)/M · bytes/bw → the
+        // DCN phase saturates rather than growing linearly.
+        let r2 = hybrid_all_reduce(10.0 * GB, &[16, 16], 2, &ici(), &dcn()).dcn_phase;
+        let r8 = hybrid_all_reduce(10.0 * GB, &[16, 16], 8, &ici(), &dcn()).dcn_phase;
+        assert!(r8 < 2.0 * r2, "8 pods cost {r8:.4}s vs 2 pods {r2:.4}s");
+    }
+
+    #[test]
+    fn scaling_efficiency_degrades_then_stabilizes() {
+        let grad = 35.0 * GB;
+        let compute = 2.0;
+        let e2 = scaling_efficiency(compute, grad, &[16, 16, 16], 2, &ici(), &dcn());
+        let e4 = scaling_efficiency(compute, grad, &[16, 16, 16], 4, &ici(), &dcn());
+        let e16 = scaling_efficiency(compute, grad, &[16, 16, 16], 16, &ici(), &dcn());
+        assert!(e2 > e4 && e4 > e16, "efficiency decreases with pods");
+        assert!(
+            e16 > 0.5,
+            "but the ring asymptote keeps it workable: {e16:.2}"
+        );
+        assert!(e2 < 1.0);
+    }
+
+    #[test]
+    fn more_dcn_bandwidth_helps_exactly_where_te_would_add_it() {
+        // The co-optimization story: granting a pod more DCN trunks (what
+        // DCN topology engineering does for pod-to-pod traffic) speeds the
+        // hybrid step.
+        let thin = DcnParams {
+            pod_bandwidth: 0.1e12,
+            ..dcn()
+        };
+        let fat = DcnParams {
+            pod_bandwidth: 0.8e12,
+            ..dcn()
+        };
+        let a_thin = hybrid_all_reduce(10.0 * GB, &[16, 16], 4, &ici(), &thin);
+        let a_fat = hybrid_all_reduce(10.0 * GB, &[16, 16], 4, &ici(), &fat);
+        assert!(a_fat.total() < a_thin.total());
+        let ratio = a_thin.dcn_phase / a_fat.dcn_phase;
+        assert!(
+            (7.5..8.5).contains(&ratio),
+            "8x trunks ≈ 8x faster DCN phase: {ratio}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pod")]
+    fn zero_pods_rejected() {
+        let _ = hybrid_all_reduce(1.0, &[4], 0, &ici(), &dcn());
+    }
+}

@@ -1,0 +1,412 @@
+//! The [`Superpod`] facade: slices composed and released on a live fabric.
+//!
+//! The pod owns the 48-OCS lightwave fabric and the cube inventory. Every
+//! slice composition is a fabric *transaction*: the pod recomputes the
+//! desired port mapping of all 48 switches from the union of active
+//! slices and commits it — the controller's minimal-delta application
+//! guarantees running slices never blink (§4.2.4: "slices for new model
+//! placements ... can be dynamically scheduled without interfering with
+//! existing models running on a different slice").
+
+use crate::geometry::{CubeId, POD_CUBES};
+use crate::slice::Slice;
+use crate::wiring::{CubeHop, SUPERPOD_OCS_COUNT};
+use lightwave_fabric::{
+    CommitError, CommitReport, FabricController, FabricTarget, OcsFleet, OcsId,
+};
+use lightwave_ocs::PortMapping;
+use lightwave_units::Nanos;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Identifier of an active slice within the pod.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SliceHandle(pub u64);
+
+/// Pod-level errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PodError {
+    /// A requested cube is already part of an active slice.
+    CubeBusy(CubeId),
+    /// A requested cube is marked failed.
+    CubeFailed(CubeId),
+    /// No such slice.
+    UnknownSlice(SliceHandle),
+    /// The fabric rejected the transaction.
+    Fabric(CommitError),
+}
+
+impl From<CommitError> for PodError {
+    fn from(e: CommitError) -> Self {
+        PodError::Fabric(e)
+    }
+}
+
+impl std::fmt::Display for PodError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PodError::CubeBusy(c) => write!(f, "cube {c} already in a slice"),
+            PodError::CubeFailed(c) => write!(f, "cube {c} is failed"),
+            PodError::UnknownSlice(h) => write!(f, "unknown slice {h:?}"),
+            PodError::Fabric(e) => write!(f, "fabric: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PodError {}
+
+/// A TPU v4 superpod: 64 cubes + 48 OCSes.
+#[derive(Debug)]
+pub struct Superpod {
+    fabric: FabricController,
+    slices: BTreeMap<SliceHandle, Slice>,
+    failed_cubes: BTreeSet<CubeId>,
+    next_handle: u64,
+}
+
+impl Superpod {
+    /// Builds a pod with a deterministic fabric seed.
+    pub fn new(seed: u64) -> Superpod {
+        Superpod {
+            fabric: FabricController::new(OcsFleet::build(SUPERPOD_OCS_COUNT, seed)),
+            slices: BTreeMap::new(),
+            failed_cubes: BTreeSet::new(),
+            next_handle: 1,
+        }
+    }
+
+    /// The fabric controller (telemetry, health, time).
+    pub fn fabric(&self) -> &FabricController {
+        &self.fabric
+    }
+
+    /// Mutable fabric access (failure injection in tests/experiments).
+    pub fn fabric_mut(&mut self) -> &mut FabricController {
+        &mut self.fabric
+    }
+
+    /// Cubes not in any slice and not failed.
+    pub fn idle_cubes(&self) -> Vec<CubeId> {
+        let busy: BTreeSet<CubeId> = self
+            .slices
+            .values()
+            .flat_map(|s| s.cubes.iter().copied())
+            .collect();
+        (0..POD_CUBES as CubeId)
+            .filter(|c| !busy.contains(c) && !self.failed_cubes.contains(c))
+            .collect()
+    }
+
+    /// Active slices.
+    pub fn slices(&self) -> impl Iterator<Item = (SliceHandle, &Slice)> {
+        self.slices.iter().map(|(&h, s)| (h, s))
+    }
+
+    /// Looks up a slice.
+    pub fn slice(&self, h: SliceHandle) -> Option<&Slice> {
+        self.slices.get(&h)
+    }
+
+    /// Marks a cube failed (host/server failure). Idle cubes simply leave
+    /// the pool; cubes inside slices degrade their slice (the caller —
+    /// scheduler or availability model — decides what to do about it).
+    pub fn mark_cube_failed(&mut self, cube: CubeId) {
+        self.failed_cubes.insert(cube);
+    }
+
+    /// Returns a repaired cube to service.
+    pub fn mark_cube_repaired(&mut self, cube: CubeId) {
+        self.failed_cubes.remove(&cube);
+    }
+
+    /// Whether a cube is failed.
+    pub fn is_cube_failed(&self, cube: CubeId) -> bool {
+        self.failed_cubes.contains(&cube)
+    }
+
+    /// The slice (if any) containing a cube.
+    pub fn slice_of_cube(&self, cube: CubeId) -> Option<SliceHandle> {
+        self.slices
+            .iter()
+            .find(|(_, s)| s.cubes.contains(&cube))
+            .map(|(&h, _)| h)
+    }
+
+    /// The fabric target realizing all slices in `slices`.
+    fn target_for(slices: &BTreeMap<SliceHandle, Slice>) -> FabricTarget {
+        let mut per_ocs: BTreeMap<OcsId, Vec<(u16, u16)>> = BTreeMap::new();
+        for slice in slices.values() {
+            for hop in slice.required_hops() {
+                let CubeHop { .. } = hop;
+                for c in hop.circuits() {
+                    per_ocs.entry(c.ocs).or_default().push((c.north, c.south));
+                }
+            }
+        }
+        let mut target = FabricTarget::new();
+        for ocs in 0..SUPERPOD_OCS_COUNT as OcsId {
+            let pairs = per_ocs.remove(&ocs).unwrap_or_default();
+            let mapping =
+                PortMapping::from_pairs(pairs).expect("disjoint slices produce disjoint port sets");
+            target.set(ocs, mapping);
+        }
+        target
+    }
+
+    /// Composes a slice: validates cube availability, commits the fabric
+    /// transaction, and returns the handle plus the commit report.
+    pub fn compose(&mut self, slice: Slice) -> Result<(SliceHandle, CommitReport), PodError> {
+        let busy: BTreeSet<CubeId> = self
+            .slices
+            .values()
+            .flat_map(|s| s.cubes.iter().copied())
+            .collect();
+        for &c in &slice.cubes {
+            if busy.contains(&c) {
+                return Err(PodError::CubeBusy(c));
+            }
+            if self.failed_cubes.contains(&c) {
+                return Err(PodError::CubeFailed(c));
+            }
+        }
+        let handle = SliceHandle(self.next_handle);
+        let mut proposed = self.slices.clone();
+        proposed.insert(handle, slice);
+        let target = Self::target_for(&proposed);
+        let report = self.fabric.commit(&target)?;
+        self.next_handle += 1;
+        self.slices = proposed;
+        Ok((handle, report))
+    }
+
+    /// Releases a slice, freeing its cubes and tearing down its circuits.
+    pub fn release(&mut self, h: SliceHandle) -> Result<CommitReport, PodError> {
+        if !self.slices.contains_key(&h) {
+            return Err(PodError::UnknownSlice(h));
+        }
+        let mut proposed = self.slices.clone();
+        proposed.remove(&h);
+        let target = Self::target_for(&proposed);
+        let report = self.fabric.commit(&target)?;
+        self.slices = proposed;
+        Ok(report)
+    }
+
+    /// Advances fabric time.
+    pub fn advance(&mut self, dt: Nanos) {
+        self.fabric.advance(dt);
+    }
+
+    /// True when every circuit in the fabric is aligned and carrying.
+    pub fn settled(&self) -> bool {
+        self.fabric.settled()
+    }
+
+    /// Per-slice impact of OCS outages (§4.2.2: "a single failure in the
+    /// set of OCSes that provide full connectivity between the elemental
+    /// cubes will degrade the performance of any slice composed of more
+    /// than one elemental cube").
+    ///
+    /// Each inter-cube hop is 16 parallel circuits, one per OCS of its
+    /// dimension; a down switch removes 1/16 of the optical bandwidth of
+    /// every hop in its dimension. Single-cube-dimension rings are
+    /// electrical and immune.
+    pub fn degradation_report(&self) -> Vec<SliceDegradation> {
+        use crate::geometry::LINKS_PER_FACE;
+        let down: Vec<OcsId> = self
+            .fabric
+            .fleet
+            .iter()
+            .filter(|(_, ocs)| !ocs.is_up())
+            .map(|(&id, _)| id)
+            .collect();
+        self.slices
+            .iter()
+            .map(|(&handle, slice)| {
+                let [p, q, r] = slice.shape.cube_grid();
+                let grid = [p, q, r];
+                // Fraction of each dimension's inter-cube circuits lost.
+                let mut lost_per_dim = [0.0f64; 3];
+                for &ocs in &down {
+                    let (dim, _) = crate::wiring::ocs_role(ocs);
+                    if grid[dim.index()] > 1 {
+                        lost_per_dim[dim.index()] += 1.0 / LINKS_PER_FACE as f64;
+                    }
+                }
+                let worst = lost_per_dim.iter().fold(0.0f64, |a, &b| a.max(b));
+                SliceDegradation {
+                    handle,
+                    optical_loss_per_dim: lost_per_dim,
+                    worst_dim_loss: worst,
+                    affected: worst > 0.0,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Impact of OCS outages on one slice.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SliceDegradation {
+    /// The slice.
+    pub handle: SliceHandle,
+    /// Fraction of inter-cube optical bandwidth lost per torus dimension.
+    pub optical_loss_per_dim: [f64; 3],
+    /// The worst dimension's loss — the collective slowdown bound, since
+    /// synchronous rings run at the speed of their thinnest hop.
+    pub worst_dim_loss: f64,
+    /// Whether the slice is affected at all.
+    pub affected: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slice::SliceShape;
+
+    fn slice_of(cubes: Vec<CubeId>, a: usize, b: usize, c: usize) -> Slice {
+        Slice::new(SliceShape::new(a, b, c).unwrap(), cubes).unwrap()
+    }
+
+    #[test]
+    fn compose_full_pod() {
+        let mut pod = Superpod::new(1);
+        let slice = slice_of((0..64).collect(), 16, 16, 16);
+        let (h, report) = pod.compose(slice).unwrap();
+        // 64 cubes × 3 dims × 16 circuits/hop = 3072 circuits.
+        assert_eq!(report.added, 3072);
+        pod.advance(Nanos::from_millis(300));
+        assert!(pod.settled());
+        assert!(pod.idle_cubes().is_empty());
+        assert_eq!(pod.slice(h).unwrap().chip_count(), 4096);
+    }
+
+    #[test]
+    fn concurrent_slices_are_isolated() {
+        let mut pod = Superpod::new(2);
+        let (h1, _) = pod.compose(slice_of(vec![0, 1], 8, 4, 4)).unwrap();
+        pod.advance(Nanos::from_millis(300));
+        // Composing a second slice must not disturb the first: every
+        // circuit of slice 1 shows up as "untouched" in the commit.
+        let (h2, report) = pod
+            .compose(slice_of(vec![10, 20, 30, 40], 16, 4, 4))
+            .unwrap();
+        // Slice 1: 2 cubes × 3 dims × 16 = 96 circuits, all preserved.
+        assert_eq!(report.untouched, 96);
+        assert_eq!(report.removed, 0);
+        assert_ne!(h1, h2);
+        assert_eq!(pod.idle_cubes().len(), 64 - 6);
+    }
+
+    #[test]
+    fn cube_conflicts_rejected() {
+        let mut pod = Superpod::new(3);
+        pod.compose(slice_of(vec![5, 6], 8, 4, 4)).unwrap();
+        assert_eq!(
+            pod.compose(slice_of(vec![6, 7], 8, 4, 4)).unwrap_err(),
+            PodError::CubeBusy(6)
+        );
+        pod.mark_cube_failed(9);
+        assert_eq!(
+            pod.compose(slice_of(vec![9], 4, 4, 4)).unwrap_err(),
+            PodError::CubeFailed(9)
+        );
+    }
+
+    #[test]
+    fn release_frees_cubes_without_touching_others() {
+        let mut pod = Superpod::new(4);
+        let (h1, _) = pod.compose(slice_of(vec![0, 1], 8, 4, 4)).unwrap();
+        let (h2, _) = pod.compose(slice_of(vec![2, 3], 8, 4, 4)).unwrap();
+        pod.advance(Nanos::from_millis(300));
+        let report = pod.release(h1).unwrap();
+        assert_eq!(report.removed, 96);
+        assert_eq!(report.untouched, 96, "slice 2 untouched");
+        assert_eq!(report.added, 0);
+        assert!(pod.idle_cubes().contains(&0));
+        assert!(pod.slice(h2).is_some());
+        assert_eq!(pod.release(h1).unwrap_err(), PodError::UnknownSlice(h1));
+    }
+
+    #[test]
+    fn swap_failed_cube_reconfigures_around_it() {
+        // The §4.2.2 availability story: a reconfigurable fabric swaps a
+        // bad cube for a spare; the slice is re-composed on good cubes.
+        let mut pod = Superpod::new(5);
+        let (h, _) = pod.compose(slice_of(vec![0, 1, 2, 3], 16, 4, 4)).unwrap();
+        pod.advance(Nanos::from_millis(300));
+        // Cube 2 dies.
+        pod.mark_cube_failed(2);
+        let old = pod.slice(h).unwrap().clone();
+        pod.release(h).unwrap();
+        let mut cubes = old.cubes.clone();
+        let spare = pod
+            .idle_cubes()
+            .into_iter()
+            .find(|c| !cubes.contains(c))
+            .unwrap();
+        for c in &mut cubes {
+            if *c == 2 {
+                *c = spare;
+            }
+        }
+        let (h2, _) = pod.compose(Slice::new(old.shape, cubes).unwrap()).unwrap();
+        pod.advance(Nanos::from_millis(300));
+        assert!(pod.settled());
+        assert_eq!(pod.slice(h2).unwrap().chip_count(), 256);
+    }
+
+    #[test]
+    fn slice_of_cube_lookup() {
+        let mut pod = Superpod::new(6);
+        let (h, _) = pod.compose(slice_of(vec![11, 13], 8, 4, 4)).unwrap();
+        assert_eq!(pod.slice_of_cube(11), Some(h));
+        assert_eq!(pod.slice_of_cube(12), None);
+    }
+
+    #[test]
+    fn ocs_failure_degrades_multi_cube_slices_only() {
+        // §4.2.2 verbatim: single-cube slices are immune; everything else
+        // loses 1/16 of the failed dimension's optical bandwidth.
+        let mut pod = Superpod::new(8);
+        let (h_multi, _) = pod.compose(slice_of(vec![0, 1, 2, 3], 16, 4, 4)).unwrap();
+        let (h_single, _) = pod.compose(slice_of(vec![9], 4, 4, 4)).unwrap();
+        pod.advance(Nanos::from_millis(400));
+        // Healthy fabric: nobody degraded.
+        assert!(pod.degradation_report().iter().all(|d| !d.affected));
+        // Kill OCS 0 (dimension X, link 0).
+        {
+            let ocs = pod.fabric_mut().fleet.get_mut(0).unwrap();
+            ocs.fail_fru(0);
+            ocs.fail_fru(1);
+        }
+        let report = pod.degradation_report();
+        let multi = report.iter().find(|d| d.handle == h_multi).unwrap();
+        let single = report.iter().find(|d| d.handle == h_single).unwrap();
+        assert!(multi.affected);
+        assert!((multi.worst_dim_loss - 1.0 / 16.0).abs() < 1e-12);
+        assert_eq!(multi.optical_loss_per_dim[1], 0.0, "Y dimension untouched");
+        assert!(!single.affected, "single-cube slices ride electrical rings");
+        // A second X-dimension OCS failure compounds.
+        {
+            let ocs = pod.fabric_mut().fleet.get_mut(1).unwrap();
+            ocs.fail_fru(0);
+            ocs.fail_fru(1);
+        }
+        let report = pod.degradation_report();
+        let multi = report.iter().find(|d| d.handle == h_multi).unwrap();
+        assert!((multi.worst_dim_loss - 2.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fabric_power_scales_with_circuits() {
+        let mut pod = Superpod::new(7);
+        let idle_power = pod.fabric().fleet.health().power_w;
+        pod.compose(slice_of((0..64).collect(), 16, 16, 16))
+            .unwrap();
+        let loaded = pod.fabric().fleet.health().power_w;
+        assert!(loaded > idle_power);
+        // 48 chassis stay within rating: < 48 × 108 W.
+        assert!(loaded < 48.0 * 108.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! The Appendix-A OCS wiring plan.
+//!
+//! "To provide the wraparound links to complete the 3D torus, the links on
+//! the opposing sides of a block are connected to the same OCS. Thus, each
+//! 4×4×4 block connects to 6 × 16 ÷ 2 = 48 OCSes."
+//!
+//! Concretely: OCS `(d, k)` — dimension `d`, face-link index `k` — hosts,
+//! for every cube `c`, the `k`-th link of `c`'s **+d face on North port
+//! `c`** and the `k`-th link of `c`'s **−d face on South port `c`**.
+//! A torus hop "cube `a` → cube `b` along +d" is then 16 parallel circuits
+//! `North a → South b`, one on each of the 16 OCSes of dimension `d`. A
+//! single-cube ring is the self-circuit `North c → South c`.
+
+use crate::geometry::{CubeId, Dim, LINKS_PER_FACE};
+use lightwave_fabric::OcsId;
+use lightwave_ocs::PortId;
+use serde::{Deserialize, Serialize};
+
+/// Number of OCSes in a superpod lightwave fabric (CWDM4-bidi modules).
+pub const SUPERPOD_OCS_COUNT: usize = 48;
+
+/// An inter-cube hop request: 16 physical circuits on 16 OCSes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CubeHop {
+    /// Torus dimension of the hop.
+    pub dim: Dim,
+    /// Source cube (its +dim face).
+    pub from: CubeId,
+    /// Destination cube (its −dim face).
+    pub to: CubeId,
+}
+
+/// One physical circuit implied by a [`CubeHop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PhysicalCircuit {
+    /// Which switch.
+    pub ocs: OcsId,
+    /// North port (source cube id).
+    pub north: PortId,
+    /// South port (destination cube id).
+    pub south: PortId,
+}
+
+/// The OCS carrying dimension `dim`, face-link `k`.
+pub fn ocs_for(dim: Dim, k: usize) -> OcsId {
+    assert!(k < LINKS_PER_FACE, "face-link index {k} out of range");
+    (dim.index() * LINKS_PER_FACE + k) as OcsId
+}
+
+/// Inverse of [`ocs_for`].
+pub fn ocs_role(ocs: OcsId) -> (Dim, usize) {
+    let i = ocs as usize;
+    assert!(
+        i < SUPERPOD_OCS_COUNT,
+        "OCS {ocs} outside the superpod fabric"
+    );
+    (Dim::ALL[i / LINKS_PER_FACE], i % LINKS_PER_FACE)
+}
+
+impl CubeHop {
+    /// The 16 physical circuits realizing this hop.
+    pub fn circuits(&self) -> impl Iterator<Item = PhysicalCircuit> + '_ {
+        (0..LINKS_PER_FACE).map(move |k| PhysicalCircuit {
+            ocs: ocs_for(self.dim, k),
+            north: self.from as PortId,
+            south: self.to as PortId,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fabric_has_48_switches() {
+        let max = ocs_for(Dim::Z, LINKS_PER_FACE - 1);
+        assert_eq!(max as usize + 1, SUPERPOD_OCS_COUNT);
+    }
+
+    #[test]
+    fn ocs_for_role_roundtrip() {
+        for ocs in 0..SUPERPOD_OCS_COUNT as OcsId {
+            let (d, k) = ocs_role(ocs);
+            assert_eq!(ocs_for(d, k), ocs);
+        }
+    }
+
+    #[test]
+    fn dimensions_use_disjoint_switches() {
+        let x: Vec<OcsId> = (0..16).map(|k| ocs_for(Dim::X, k)).collect();
+        let y: Vec<OcsId> = (0..16).map(|k| ocs_for(Dim::Y, k)).collect();
+        assert!(x.iter().all(|o| !y.contains(o)));
+    }
+
+    #[test]
+    fn hop_expands_to_16_circuits() {
+        let hop = CubeHop {
+            dim: Dim::Y,
+            from: 5,
+            to: 9,
+        };
+        let circuits: Vec<_> = hop.circuits().collect();
+        assert_eq!(circuits.len(), 16);
+        // All on dimension-Y switches, all North 5 → South 9.
+        for c in &circuits {
+            let (d, _) = ocs_role(c.ocs);
+            assert_eq!(d, Dim::Y);
+            assert_eq!(c.north, 5);
+            assert_eq!(c.south, 9);
+        }
+        // 16 distinct switches.
+        let mut ids: Vec<_> = circuits.iter().map(|c| c.ocs).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 16);
+    }
+
+    #[test]
+    fn single_cube_wraparound_is_a_self_circuit() {
+        let hop = CubeHop {
+            dim: Dim::X,
+            from: 3,
+            to: 3,
+        };
+        for c in hop.circuits() {
+            assert_eq!(c.north, c.south);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_link_index_panics() {
+        let _ = ocs_for(Dim::X, 16);
+    }
+}

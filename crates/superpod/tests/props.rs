@@ -1,0 +1,111 @@
+//! Property tests for pod geometry, slices, and collectives.
+
+use lightwave_superpod::collective::{
+    ring_all_reduce, ring_reduce_scatter, torus_all_reduce, IciParams,
+};
+use lightwave_superpod::slice::{Slice, SliceShape};
+use lightwave_superpod::torus::{Chip, Torus};
+use lightwave_superpod::torus_nd::TorusNd;
+use lightwave_superpod::wiring::ocs_role;
+use lightwave_superpod::Dim;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn enumerated_shapes_are_exact_factorizations(cubes in 1usize..=64) {
+        let chips = cubes * 64;
+        for shape in SliceShape::enumerate_with_chips(chips) {
+            prop_assert_eq!(shape.chip_count(), chips);
+            prop_assert!(shape.chips.iter().all(|&d| d % 4 == 0 && d > 0));
+        }
+    }
+
+    #[test]
+    fn slice_hops_are_three_per_cube(p in 1usize..=4, q in 1usize..=4, r in 1usize..=4) {
+        let shape = SliceShape::new(4 * p, 4 * q, 4 * r).expect("valid");
+        let cubes: Vec<u8> = (0..shape.cube_count() as u8).collect();
+        let slice = Slice::new(shape, cubes).expect("valid");
+        let hops = slice.required_hops();
+        prop_assert_eq!(hops.len(), 3 * shape.cube_count());
+        // Each dimension contributes exactly cube_count hops and every
+        // cube appears exactly once as `from` per dimension.
+        for dim in [Dim::X, Dim::Y, Dim::Z] {
+            let froms: Vec<u8> = hops.iter().filter(|h| h.dim == dim).map(|h| h.from).collect();
+            let mut sorted = froms.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), shape.cube_count());
+        }
+    }
+
+    #[test]
+    fn hop_circuits_match_their_dimension(from in 0u8..64, to in 0u8..64) {
+        for dim in [Dim::X, Dim::Y, Dim::Z] {
+            let hop = lightwave_superpod::wiring::CubeHop { dim, from, to };
+            for c in hop.circuits() {
+                let (d, k) = ocs_role(c.ocs);
+                prop_assert_eq!(d, dim);
+                prop_assert!(k < 16);
+                prop_assert_eq!(c.north, from as u16);
+                prop_assert_eq!(c.south, to as u16);
+            }
+        }
+    }
+
+    #[test]
+    fn torus_distance_is_a_metric(
+        ax in 0usize..8, ay in 0usize..8, az in 0usize..8,
+        bx in 0usize..8, by in 0usize..8, bz in 0usize..8,
+        cx in 0usize..8, cy in 0usize..8, cz in 0usize..8,
+    ) {
+        let t = Torus::new(SliceShape::new(8, 8, 8).expect("valid"));
+        let a = Chip { coords: [ax, ay, az] };
+        let b = Chip { coords: [bx, by, bz] };
+        let c = Chip { coords: [cx, cy, cz] };
+        // Symmetry, identity, triangle inequality.
+        prop_assert_eq!(t.distance(a, b), t.distance(b, a));
+        prop_assert_eq!(t.distance(a, a), 0);
+        prop_assert!(t.distance(a, c) <= t.distance(a, b) + t.distance(b, c));
+        prop_assert!(t.distance(a, b) <= t.diameter());
+    }
+
+    #[test]
+    fn collective_times_are_positive_and_monotone_in_bytes(
+        bytes in 1e3f64..1e10,
+        scale in 1.1f64..10.0,
+        len in 2usize..256,
+    ) {
+        let p = IciParams::tpu_v4();
+        let t1 = ring_all_reduce(bytes, len, &p);
+        let t2 = ring_all_reduce(bytes * scale, len, &p);
+        prop_assert!(t1 > 0.0);
+        prop_assert!(t2 > t1);
+        // reduce-scatter is always at most the full all-reduce.
+        prop_assert!(ring_reduce_scatter(bytes, len, &p) <= t1);
+    }
+
+    #[test]
+    fn torus_allreduce_bounded_by_asymptote(bytes in 1e6f64..1e10, a in 2usize..=16, b in 2usize..=16) {
+        let p = IciParams::tpu_v4();
+        let t = torus_all_reduce(bytes, &[a, b], &p);
+        // Lower bound: the bandwidth-optimal 2·(1−1/N)·bytes/bw.
+        let n = (a * b) as f64;
+        let floor = 2.0 * (1.0 - 1.0 / n) * bytes / p.ring_bandwidth();
+        prop_assert!(t + 1e-12 >= floor, "t={t}, floor={floor}");
+        // Upper bound: floor plus latency terms.
+        let latency = 2.0 * ((a - 1) + (b - 1)) as f64 * p.hop_latency;
+        prop_assert!(t <= floor + latency + 1e-9 + 0.02 * floor);
+    }
+
+    #[test]
+    fn nd_torus_tradeoffs_hold_generally(edge in 2usize..=8, n in 1usize..=4) {
+        let chips = edge.pow(n as u32);
+        let t = TorusNd::balanced(chips, n);
+        prop_assert_eq!(t.chips(), chips);
+        prop_assert_eq!(t.links_per_chip(), 2 * n);
+        prop_assert!(t.diameter() <= n * edge / 2);
+        prop_assert!(t.mean_distance() <= t.diameter() as f64);
+    }
+}

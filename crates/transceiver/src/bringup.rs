@@ -1,0 +1,227 @@
+//! Link bring-up state machine.
+//!
+//! When an OCS circuit is (re)configured, the transceivers at both ends
+//! must re-acquire: the receiver CDR locks to the incoming signal, the DSP
+//! adapts its equalizer, the FEC framer locks, and only then does the link
+//! carry traffic. The paper's future-work section (§6) points out that
+//! fast-switching fabrics are gated on "transceivers with fast
+//! initialization times" — this module makes that cost explicit.
+
+use crate::bidilink::BidiLink;
+use crate::dsp::DspConfig;
+use lightwave_optics::modulation::LaneRate;
+use lightwave_units::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// Bring-up states, in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum BringupState {
+    /// No light or circuit not yet configured.
+    Down,
+    /// Light present; clock-and-data recovery acquiring.
+    CdrAcquire,
+    /// CDR locked; equalizer adapting and rate negotiation settling.
+    EqAdapt,
+    /// FEC framer searching for codeword alignment.
+    FecLock,
+    /// Carrying traffic.
+    Up,
+    /// Light present but BER above threshold: stays out of service.
+    Faulted,
+}
+
+/// Events produced during bring-up (for telemetry/debugging).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BringupEvent {
+    /// When (relative to bring-up start).
+    pub at: Nanos,
+    /// The state entered.
+    pub entered: BringupState,
+}
+
+/// The bring-up process for one link direction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkBringup {
+    /// State machine position.
+    pub state: BringupState,
+    /// Negotiated lane rate (after EqAdapt).
+    pub negotiated_rate: Option<LaneRate>,
+    /// Event log.
+    pub events: Vec<BringupEvent>,
+    elapsed: Nanos,
+}
+
+/// Time constants for each acquisition phase (typical DSP datasheet
+/// values; dominated by equalizer adaptation).
+const CDR_LOCK: Nanos = Nanos(200_000); // 200 µs
+const EQ_ADAPT: Nanos = Nanos(5_000_000); // 5 ms
+const FEC_LOCK: Nanos = Nanos(100_000); // 100 µs
+
+impl Default for LinkBringup {
+    fn default() -> Self {
+        LinkBringup::new()
+    }
+}
+
+impl LinkBringup {
+    /// A fresh (down) bring-up machine.
+    pub fn new() -> LinkBringup {
+        LinkBringup {
+            state: BringupState::Down,
+            negotiated_rate: None,
+            events: vec![],
+            elapsed: Nanos(0),
+        }
+    }
+
+    fn enter(&mut self, s: BringupState) {
+        self.state = s;
+        self.events.push(BringupEvent {
+            at: self.elapsed,
+            entered: s,
+        });
+    }
+
+    /// Runs bring-up to completion over an evaluated link, negotiating the
+    /// rate between the two end DSPs. Returns the total time to `Up`, or
+    /// the time spent before landing in `Faulted`.
+    pub fn run(&mut self, link: &BidiLink, local: &DspConfig, remote: &DspConfig) -> Nanos {
+        self.elapsed = Nanos(0);
+        self.enter(BringupState::CdrAcquire);
+        self.elapsed += CDR_LOCK;
+
+        self.enter(BringupState::EqAdapt);
+        self.elapsed += EQ_ADAPT;
+        match local.negotiate_rate(remote) {
+            Some(rate) => self.negotiated_rate = Some(rate),
+            None => {
+                self.enter(BringupState::Faulted);
+                return self.elapsed;
+            }
+        }
+
+        self.enter(BringupState::FecLock);
+        self.elapsed += FEC_LOCK;
+
+        if link.is_healthy() {
+            self.enter(BringupState::Up);
+        } else {
+            self.enter(BringupState::Faulted);
+        }
+        self.elapsed
+    }
+
+    /// Total bring-up time for a healthy link with these time constants —
+    /// used by fabric planners to budget reconfiguration.
+    pub fn nominal_duration() -> Nanos {
+        CDR_LOCK + EQ_ADAPT + FEC_LOCK
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{ModuleFamily, Transceiver};
+
+    fn healthy_link() -> BidiLink {
+        BidiLink::superpod(
+            Transceiver::nominal(ModuleFamily::Cwdm4Bidi),
+            Transceiver::nominal(ModuleFamily::Cwdm4Bidi),
+            DspConfig::ml_production(),
+            0.2,
+        )
+    }
+
+    #[test]
+    fn healthy_link_comes_up() {
+        let link = healthy_link();
+        let mut b = LinkBringup::new();
+        let t = b.run(
+            &link,
+            &DspConfig::ml_production(),
+            &DspConfig::ml_production(),
+        );
+        assert_eq!(b.state, BringupState::Up);
+        assert_eq!(b.negotiated_rate, Some(LaneRate::Pam4_100));
+        // Bring-up is ms-class — comparable to the OCS switch time, which
+        // is why the two are pipelined in fabric reconfiguration.
+        let ms = t.as_millis_f64();
+        assert!((1.0..20.0).contains(&ms), "bring-up took {ms} ms");
+    }
+
+    #[test]
+    fn event_log_orders_states() {
+        let link = healthy_link();
+        let mut b = LinkBringup::new();
+        b.run(
+            &link,
+            &DspConfig::ml_production(),
+            &DspConfig::ml_production(),
+        );
+        let states: Vec<_> = b.events.iter().map(|e| e.entered).collect();
+        assert_eq!(
+            states,
+            vec![
+                BringupState::CdrAcquire,
+                BringupState::EqAdapt,
+                BringupState::FecLock,
+                BringupState::Up
+            ]
+        );
+        // Timestamps are non-decreasing.
+        assert!(b.events.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn incompatible_rates_fault_at_negotiation() {
+        let link = healthy_link();
+        let only100 = DspConfig {
+            supported_rates: [false, false, true],
+            ..DspConfig::ml_production()
+        };
+        let only25 = DspConfig {
+            supported_rates: [true, false, false],
+            ..DspConfig::standards_based()
+        };
+        let mut b = LinkBringup::new();
+        b.run(&link, &only100, &only25);
+        assert_eq!(b.state, BringupState::Faulted);
+        assert_eq!(b.negotiated_rate, None);
+    }
+
+    #[test]
+    fn unhealthy_link_faults_after_fec_lock() {
+        let mut bad_rx = Transceiver::nominal(ModuleFamily::Cwdm4Bidi);
+        bad_rx.residual_floor = 1e-2;
+        let link = BidiLink::superpod(
+            Transceiver::nominal(ModuleFamily::Cwdm4Bidi),
+            bad_rx,
+            DspConfig::ml_production(),
+            0.2,
+        );
+        let mut b = LinkBringup::new();
+        b.run(
+            &link,
+            &DspConfig::ml_production(),
+            &DspConfig::ml_production(),
+        );
+        assert_eq!(b.state, BringupState::Faulted);
+        assert!(
+            b.negotiated_rate.is_some(),
+            "negotiation succeeded before fault"
+        );
+    }
+
+    #[test]
+    fn cross_generation_bringup_negotiates_down() {
+        let link = healthy_link();
+        let mut b = LinkBringup::new();
+        b.run(
+            &link,
+            &DspConfig::ml_production(),
+            &DspConfig::standards_based(),
+        );
+        assert_eq!(b.state, BringupState::Up);
+        assert_eq!(b.negotiated_rate, Some(LaneRate::Pam4_50));
+    }
+}

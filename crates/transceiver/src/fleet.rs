@@ -1,0 +1,164 @@
+//! Pod-scale per-lane BER census — the Fig. 13 experiment.
+//!
+//! §4.1.2: Fig. 13 samples per-lane BER across "about 6144 (16 ports per
+//! cube face × 6 cube faces × 64 cubes) individual receiving ports", each
+//! potentially paired with 64 partner cubes. "All of the values meet the
+//! KP4 error-correcting code specification of 2×10⁻⁴ with approximately two
+//! orders of magnitude of BER margin."
+//!
+//! The census samples a manufactured transceiver per port, a sampled fiber
+//! plant per link, evaluates every lane through the full link model (OIM +
+//! SFEC DSP), and reports the distribution.
+
+use crate::bidilink::BidiLink;
+use crate::dsp::DspConfig;
+use crate::module::{ModuleFamily, Transceiver};
+use lightwave_optics::components::{Component, ComponentKind};
+use lightwave_optics::link::LinkBudget;
+use lightwave_units::Ber;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Receiving ports in a full 4096-TPU pod: 16 per face × 6 faces × 64 cubes.
+pub const POD_RX_PORTS: usize = 16 * 6 * 64;
+
+/// One sampled lane observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LaneSample {
+    /// Receiving port index (0..6144).
+    pub port: u32,
+    /// Lane within the engine.
+    pub lane: u8,
+    /// Measured (modeled) BER with OIM and SFEC active.
+    pub ber: Ber,
+}
+
+/// Census results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetCensus {
+    /// Every sampled lane.
+    pub samples: Vec<LaneSample>,
+    /// Ports whose worst lane violates the KP4 threshold.
+    pub violations: usize,
+    /// Median margin below threshold, in orders of magnitude.
+    pub median_margin_orders: f64,
+}
+
+/// Runs the Fig. 13 census.
+///
+/// * `ports` — number of receiving ports to sample (use [`POD_RX_PORTS`]
+///   for the full pod; tests use fewer).
+/// * `family` — transceiver family in service.
+pub fn fleet_census(ports: usize, family: ModuleFamily, seed: u64) -> FleetCensus {
+    assert!(ports > 0, "census needs at least one port");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dsp = DspConfig::ml_production();
+    let mut samples = Vec::new();
+    let mut violations = 0usize;
+
+    for port in 0..ports {
+        let tx = Transceiver::sample(family, &mut rng);
+        let rx = Transceiver::sample(family, &mut rng);
+        // Sample the fiber plant: intra-building runs of 20..150 m plus
+        // component manufacturing variation.
+        let fiber_km = rng.random_range(0.02..0.15);
+        let components = vec![
+            Component::sampled(ComponentKind::WdmMux, &mut rng),
+            Component::sampled(ComponentKind::CirculatorPass, &mut rng),
+            Component::sampled(ComponentKind::Connector, &mut rng),
+            Component::fiber_span(fiber_km / 2.0),
+            Component::sampled(ComponentKind::OcsPass, &mut rng),
+            Component::fiber_span(fiber_km / 2.0),
+            Component::sampled(ComponentKind::Connector, &mut rng),
+            Component::sampled(ComponentKind::CirculatorPass, &mut rng),
+            Component::sampled(ComponentKind::WdmDemux, &mut rng),
+        ];
+        let budget = LinkBudget::new(tx.launch, components).expect("non-empty chain");
+        let link = BidiLink {
+            tx_unit: tx,
+            rx_unit: rx,
+            budget,
+            dsp,
+            fiber_km,
+        };
+        let lanes = link.evaluate();
+        if lanes.iter().any(|l| !l.raw_ber.meets(Ber::KP4_THRESHOLD)) {
+            violations += 1;
+        }
+        for l in lanes {
+            samples.push(LaneSample {
+                port: port as u32,
+                lane: l.lane,
+                ber: l.raw_ber,
+            });
+        }
+    }
+
+    let mut margins: Vec<f64> = samples
+        .iter()
+        .map(|s| s.ber.margin_orders(Ber::KP4_THRESHOLD))
+        .collect();
+    margins.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median_margin_orders = margins[margins.len() / 2];
+    FleetCensus {
+        samples,
+        violations,
+        median_margin_orders,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pod_port_count_matches_paper() {
+        assert_eq!(POD_RX_PORTS, 6144);
+    }
+
+    #[test]
+    fn census_meets_kp4_with_two_orders_margin() {
+        // The headline Fig. 13 claim, on a 500-port sample.
+        let census = fleet_census(500, ModuleFamily::Cwdm4Bidi, 42);
+        assert_eq!(
+            census.violations, 0,
+            "all production lanes meet the KP4 spec"
+        );
+        assert!(
+            (1.4..3.2).contains(&census.median_margin_orders),
+            "median margin {:.2} orders; paper says ~2",
+            census.median_margin_orders
+        );
+    }
+
+    #[test]
+    fn census_has_population_spread() {
+        // Fig. 13 shows a band, not a line: per-unit floors differ.
+        let census = fleet_census(300, ModuleFamily::Cwdm4Bidi, 7);
+        let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);
+        for s in &census.samples {
+            lo = lo.min(s.ber.prob());
+            hi = hi.max(s.ber.prob());
+        }
+        assert!(
+            hi / lo > 30.0,
+            "expected >1.5 orders of population spread, got {lo:.2e}..{hi:.2e}"
+        );
+    }
+
+    #[test]
+    fn sample_counts() {
+        let census = fleet_census(100, ModuleFamily::Cwdm4Bidi, 1);
+        assert_eq!(census.samples.len(), 400, "4 lanes per CWDM4 engine");
+        let c8 = fleet_census(50, ModuleFamily::Cwdm8Bidi, 1);
+        assert_eq!(c8.samples.len(), 400, "8 lanes per CWDM8 engine");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = fleet_census(50, ModuleFamily::Cwdm4Bidi, 5);
+        let b = fleet_census(50, ModuleFamily::Cwdm4Bidi, 5);
+        assert_eq!(a, b);
+    }
+}

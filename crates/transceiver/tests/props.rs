@@ -1,0 +1,115 @@
+//! Property tests for transceiver modules and bring-up.
+
+use lightwave_optics::modulation::LaneRate;
+use lightwave_transceiver::bidilink::BidiLink;
+use lightwave_transceiver::bringup::{BringupState, LinkBringup};
+use lightwave_transceiver::dsp::DspConfig;
+use lightwave_transceiver::module::{ModuleFamily, Transceiver};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn any_family() -> impl Strategy<Value = ModuleFamily> {
+    prop_oneof![
+        Just(ModuleFamily::Cwdm4Duplex),
+        Just(ModuleFamily::Cwdm4Bidi),
+        Just(ModuleFamily::Cwdm8Bidi),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sampled_units_always_physical(family in any_family(), seed in 0u64..1000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let t = Transceiver::sample(family, &mut rng);
+        prop_assert!(t.launch.dbm() > -2.0 && t.launch.dbm() < 4.0);
+        prop_assert!(t.residual_floor > 0.0 && t.residual_floor < 1e-4);
+        prop_assert!(t.sensitivity_offset_db.abs() <= 1.5);
+    }
+
+    #[test]
+    fn lane_reports_cover_the_grid(family in any_family(), km in 0.02f64..2.0) {
+        let link = BidiLink::superpod(
+            Transceiver::nominal(family),
+            Transceiver::nominal(family),
+            DspConfig::ml_production(),
+            km,
+        );
+        let lanes = link.evaluate();
+        prop_assert_eq!(lanes.len(), family.grid().lane_count());
+        for l in &lanes {
+            prop_assert!(l.raw_ber.prob() >= 0.0 && l.raw_ber.prob() <= 0.5);
+            prop_assert!(l.dispersion_penalty.db() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn longer_fiber_never_improves_the_worst_lane(
+        family in any_family(),
+        km in 0.05f64..3.0,
+        extra in 0.1f64..4.0,
+    ) {
+        let mk = |k| {
+            BidiLink::superpod(
+                Transceiver::nominal(family),
+                Transceiver::nominal(family),
+                DspConfig::ml_production(),
+                k,
+            )
+            .worst_lane()
+        };
+        prop_assert!(mk(km + extra).margin_orders <= mk(km).margin_orders + 1e-9);
+    }
+
+    #[test]
+    fn negotiation_is_commutative_and_never_invents_rates(
+        a0 in any::<bool>(), a1 in any::<bool>(), a2 in any::<bool>(),
+        b0 in any::<bool>(), b1 in any::<bool>(), b2 in any::<bool>(),
+    ) {
+        let a = DspConfig {
+            supported_rates: [a0, a1, a2],
+            ..DspConfig::ml_production()
+        };
+        let b = DspConfig {
+            supported_rates: [b0, b1, b2],
+            ..DspConfig::ml_production()
+        };
+        let ab = a.negotiate_rate(&b);
+        prop_assert_eq!(ab, b.negotiate_rate(&a), "negotiation must commute");
+        if let Some(rate) = ab {
+            prop_assert!(a.supports(rate) && b.supports(rate));
+            // And it is the *highest* common rate.
+            for r in LaneRate::ALL {
+                if a.supports(r) && b.supports(r) {
+                    prop_assert!(r.generation() <= rate.generation());
+                }
+            }
+        } else {
+            for r in LaneRate::ALL {
+                prop_assert!(!(a.supports(r) && b.supports(r)));
+            }
+        }
+    }
+
+    #[test]
+    fn bringup_terminates_in_up_or_faulted(km in 0.05f64..30.0, floor_exp in -8.0f64..-1.5) {
+        let mut rx = Transceiver::nominal(ModuleFamily::Cwdm4Bidi);
+        rx.residual_floor = 10f64.powf(floor_exp);
+        let link = BidiLink::superpod(
+            Transceiver::nominal(ModuleFamily::Cwdm4Bidi),
+            rx,
+            DspConfig::ml_production(),
+            km,
+        );
+        let mut b = LinkBringup::new();
+        let t = b.run(&link, &DspConfig::ml_production(), &DspConfig::ml_production());
+        prop_assert!(matches!(b.state, BringupState::Up | BringupState::Faulted));
+        prop_assert!(t.0 > 0);
+        prop_assert_eq!(
+            b.state == BringupState::Up,
+            link.is_healthy(),
+            "bring-up outcome must agree with link health"
+        );
+    }
+}

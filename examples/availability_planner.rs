@@ -1,0 +1,57 @@
+//! Capacity planning under an availability target.
+//!
+//! ```text
+//! cargo run --release --example availability_planner
+//! ```
+//!
+//! The §4.2.2 math as a planning tool: given your fleet's server
+//! availability and an overall system availability target, how many
+//! slices of each size can you *promise*, and what does the OCS fabric's
+//! reconfigurability buy over a static shuffle?
+
+use lightwave::availability::{
+    cube_availability, fabric_availability, reconfigurable_goodput, static_goodput, SYSTEM_TARGET,
+};
+use lightwave::prelude::*;
+use lightwave::transceiver::ModuleFamily;
+
+fn main() {
+    println!("=== availability planning for a 4096-TPU pod ===\n");
+
+    // How transceiver choice sets the fabric availability floor (Fig 15a).
+    println!("fabric availability @ 99.9% per-OCS availability:");
+    for fam in ModuleFamily::ALL {
+        let n = fam.superpod_ocs_count();
+        let f = fabric_availability(Availability::from_nines(3.0), n as u32);
+        println!("  {fam:?}: {n} OCSes → {f}");
+    }
+
+    // Goodput planning table (Fig 15b).
+    println!(
+        "\ngoodput at a {:.0}% system target:",
+        SYSTEM_TARGET * 100.0
+    );
+    println!("slice  | server avail | reconfigurable | static");
+    for &chips in &[64usize, 256, 1024, 2048] {
+        for &sa in &[0.99, 0.995, 0.999] {
+            let ca = cube_availability(Availability::new(sa));
+            let r = reconfigurable_goodput(chips / 64, ca, SYSTEM_TARGET);
+            let s = static_goodput(chips / 64, ca, SYSTEM_TARGET);
+            println!(
+                "{chips:>6} | {:>11.1}% | {:>13.1}% | {:>5.1}%",
+                sa * 100.0,
+                r * 100.0,
+                s * 100.0
+            );
+        }
+    }
+
+    // What that means in promised slices.
+    let ca = cube_availability(Availability::from_nines(3.0));
+    println!(
+        "\nwith 99.9% servers: the reconfigurable pod promises {} concurrent 1024-chip \
+         slices; a static pod promises {}",
+        (reconfigurable_goodput(16, ca, SYSTEM_TARGET) * 64.0 / 16.0).round() as usize,
+        (static_goodput(16, ca, SYSTEM_TARGET) * 64.0 / 16.0).round() as usize,
+    );
+}

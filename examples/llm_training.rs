@@ -1,0 +1,77 @@
+//! Slice-shape search for LLM training — the Table 2 workflow.
+//!
+//! ```text
+//! cargo run --release --example llm_training
+//! ```
+//!
+//! For each of the paper's three LLMs, search every valid 4096-chip slice
+//! shape, print the step-time breakdown of the winner versus the static
+//! 16×16×16 baseline, and then actually place the winning slice on a live
+//! pod.
+
+use lightwave::mlperf::{step_time, ChipParams, LlmConfig, SliceOptimizer};
+use lightwave::prelude::*;
+
+fn main() {
+    println!("=== LLM slice-shape optimization (4096 chips) ===\n");
+    let opt = SliceOptimizer::tpu_v4();
+    let chip = ChipParams::tpu_v4();
+
+    for model in LlmConfig::table2() {
+        let best = opt.optimize(&model, 4096).expect("full pod is feasible");
+        let baseline = opt.baseline_step(&model, 4096).expect("baseline runs");
+        let [a, b, c] = best.shape.chips;
+        println!(
+            "{} ({:.0}B params, inherent tp={} pp={}):",
+            model.name,
+            model.params / 1e9,
+            model.tp,
+            model.pp
+        );
+        println!(
+            "  optimal {a}x{b}x{c}: step {:.2} s \
+             (compute {:.2}, tp-comm {:.2}, bubble {:.2}, dp-comm {:.2})",
+            best.step.total(),
+            best.step.compute,
+            best.step.tp_comm,
+            best.step.pipeline_bubble,
+            best.step.dp_comm
+        );
+        println!(
+            "  baseline 16x16x16: step {:.2} s → speedup {:.2}x",
+            baseline.total(),
+            best.speedup_vs_baseline
+        );
+
+        // Show the landscape: a few notable alternative shapes.
+        print!("  landscape:");
+        for shape in [[4usize, 4, 256], [8, 16, 32], [16, 16, 16], [4, 16, 64]] {
+            let s = SliceShape::new(shape[0], shape[1], shape[2]).expect("valid");
+            match step_time(&model, s, &chip) {
+                Ok(st) => print!(
+                    "  {}x{}x{}: {:.1}s",
+                    shape[0],
+                    shape[1],
+                    shape[2],
+                    st.total()
+                ),
+                Err(_) => print!("  {}x{}x{}: infeasible", shape[0], shape[1], shape[2]),
+            }
+        }
+        println!("\n");
+    }
+
+    // Place the LLM1 winner on a live fabric.
+    println!("placing LLM1's optimal slice on a live pod...");
+    let mut pod = MlPod::new(7);
+    let placement = pod
+        .place_model(&LlmConfig::llm1(), 4096)
+        .expect("empty pod");
+    pod.advance(Nanos::from_millis(300));
+    println!(
+        "  slice {:?} live on {} circuits; fabric settled: {}",
+        placement.plan.shape.chips,
+        pod.pod.fabric().fleet.health().circuits,
+        pod.pod.settled()
+    );
+}

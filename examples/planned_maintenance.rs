@@ -1,0 +1,69 @@
+//! Planned maintenance on a live fabric (§3.2.2 serviceability).
+//!
+//! ```text
+//! cargo run --release --example planned_maintenance
+//! ```
+//!
+//! An HV driver board on one OCS needs replacement. The workflow: plan
+//! (blast radius + expected outage), notify (which slices feel it),
+//! execute, verify recovery — without touching any other switch.
+
+use lightwave::fabric::maintenance::{execute, plan_replacement};
+use lightwave::ocs::chassis::FruKind;
+use lightwave::prelude::*;
+use lightwave::units::Nanos;
+
+fn main() {
+    println!("=== planned HV-driver replacement on a live pod ===\n");
+    let mut pod = MlPod::new(17);
+    let placement = pod.place_model(&LlmConfig::llm1(), 1024).expect("fits");
+    pod.advance(Nanos::from_millis(400));
+    println!(
+        "pod running: slice {:?} live across {} circuits\n",
+        placement.plan.shape.chips,
+        pod.pod.fabric().fleet.health().circuits
+    );
+
+    // Plan the swap: OCS 5, chassis slot 6 (the first HV driver board).
+    let plan = plan_replacement(&pod.pod.fabric().fleet, 5, 6).expect("valid target");
+    println!(
+        "plan: replace {:?} in slot {} of OCS {}\n  circuits that will blink: {:?}\n  expected outage each: {}",
+        plan.kind, plan.slot, plan.ocs, plan.disturbed_circuits, plan.expected_outage
+    );
+
+    // Compare with a PSU swap — truly hitless.
+    let psu = plan_replacement(&pod.pod.fabric().fleet, 5, 0).expect("valid target");
+    assert_eq!(psu.kind, FruKind::PowerSupply);
+    println!(
+        "\n(for contrast, a PSU swap on the same switch disturbs {} circuits)",
+        psu.disturbed_circuits.len()
+    );
+
+    // Execute and verify.
+    println!("\nexecuting...");
+    execute(&mut pod.pod.fabric_mut().fleet, &plan).expect("executes");
+    let still_dark: Vec<_> = plan
+        .disturbed_circuits
+        .iter()
+        .filter(|&&n| !pod.pod.fabric().fleet.get(5).unwrap().circuit_ready(n))
+        .collect();
+    println!(
+        "  immediately after: {} of {} disturbed circuits re-aligning",
+        still_dark.len(),
+        plan.disturbed_circuits.len()
+    );
+    pod.advance(Nanos::from_millis(400));
+    let recovered = plan
+        .disturbed_circuits
+        .iter()
+        .all(|&n| pod.pod.fabric().fleet.get(5).unwrap().circuit_ready(n));
+    println!("  after mirror settle + bring-up: all recovered = {recovered}");
+
+    // The rest of the fleet never noticed.
+    let health = pod.pod.fabric().fleet.health();
+    println!(
+        "\nfleet: {} switches operational, {} circuits live, {} pending",
+        health.operational, health.circuits, health.pending
+    );
+    assert!(pod.pod.settled());
+}

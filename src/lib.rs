@@ -1,0 +1,50 @@
+//! # lightwave
+//!
+//! A simulation and control-plane library for **reconfigurable optical
+//! circuit switched (OCS) fabrics**, reproducing the systems described in
+//! *"Lightwave Fabrics: At-Scale Optical Circuit Switching for Datacenter
+//! and Machine Learning Systems"* (Liu et al., ACM SIGCOMM 2023).
+//!
+//! The library spans the whole stack the paper describes:
+//!
+//! | layer | crate (re-exported module) |
+//! |---|---|
+//! | units & numerics | [`units`] |
+//! | photonic link physics | [`optics`] |
+//! | RS(544,514) + soft inner FEC | [`fec`] |
+//! | the Palomar 136×136 MEMS OCS | [`ocs`] |
+//! | bidi CWDM4/CWDM8 transceivers | [`transceiver`] |
+//! | fabric control plane | [`fabric`] |
+//! | TPU-v4 superpod & slices | [`superpod`] |
+//! | cluster scheduling | [`scheduler`] |
+//! | availability & goodput | [`availability`] |
+//! | spine-free DCN & TE | [`dcn`] |
+//! | LLM slice-shape optimization | [`mlperf`] |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lightwave::prelude::*;
+//!
+//! // Build a 4096-TPU superpod on a live 48-OCS lightwave fabric.
+//! let mut pod = MlPod::new(42);
+//!
+//! // Place a 70B-parameter LLM: the optimizer picks 4×4×256 (Table 2)
+//! // and the fabric wires the slice.
+//! let placement = pod
+//!     .place_model(&LlmConfig::llm1(), 4096)
+//!     .expect("an empty pod fits a full-pod model");
+//! assert_eq!(placement.plan.shape.chips, [4, 4, 256]);
+//!
+//! // Let the MEMS mirrors settle and the transceivers re-acquire.
+//! pod.advance(Nanos::from_millis(300));
+//! assert!(pod.pod.settled());
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/bench` for the
+//! harness that regenerates every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use lightwave_core::*;

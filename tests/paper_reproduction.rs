@@ -1,0 +1,144 @@
+//! Every table and figure of the paper must reproduce (in quick mode).
+//!
+//! These are the shape-fidelity gates: each experiment carries its own
+//! paper-vs-measured checks; a regression anywhere in the stack that
+//! breaks a published number fails here.
+
+use lightwave_bench::{run, ALL_EXPERIMENTS};
+
+fn check(id: &str) {
+    let result = run(id, true).unwrap_or_else(|| panic!("unknown experiment {id}"));
+    for c in &result.checks {
+        assert!(
+            c.pass,
+            "{id}: check '{}' failed — paper {}, measured {}\n--- full output ---\n{}",
+            c.what,
+            c.paper,
+            c.measured,
+            result.render()
+        );
+    }
+}
+
+#[test]
+fn fig10a_insertion_loss_histogram() {
+    check("fig10a");
+}
+
+#[test]
+fn fig10b_return_loss() {
+    check("fig10b");
+}
+
+#[test]
+fn fig11_ber_vs_power_with_oim() {
+    check("fig11");
+}
+
+#[test]
+fn fig12_concatenated_sfec_gain() {
+    check("fig12");
+}
+
+#[test]
+fn fig13_fleet_ber_census() {
+    check("fig13");
+}
+
+#[test]
+fn tab1_cost_power_ratios() {
+    check("tab1");
+}
+
+#[test]
+fn tab2_llm_slice_shapes_and_speedups() {
+    check("tab2");
+}
+
+#[test]
+fn fig15a_fabric_availability() {
+    check("fig15a");
+}
+
+#[test]
+fn fig15b_goodput_vs_server_availability() {
+    check("fig15b");
+}
+
+#[test]
+fn dcn1_spine_free_savings() {
+    check("dcn1");
+}
+
+#[test]
+fn dcn2_topology_engineering_gains() {
+    check("dcn2");
+}
+
+#[test]
+fn tabc1_ocs_technology_selection() {
+    check("tabc1");
+}
+
+#[test]
+fn sched1_pooled_vs_contiguous() {
+    check("sched1");
+}
+
+#[test]
+fn deploy1_incremental_deployment() {
+    check("deploy1");
+}
+
+#[test]
+fn ocs1_chassis_power_and_availability() {
+    check("ocs1");
+}
+
+#[test]
+fn ablate1_bidirectional_optics() {
+    check("ablate1");
+}
+
+#[test]
+fn ablate2_minimal_delta_reconfiguration() {
+    check("ablate2");
+}
+
+#[test]
+fn ablate3_opposing_faces_wiring() {
+    check("ablate3");
+}
+
+#[test]
+fn hybrid1_ici_dcn_scale_out() {
+    check("hybrid1");
+}
+
+#[test]
+fn future1_higher_dimensional_tori() {
+    check("future1");
+}
+
+#[test]
+fn campus1_service_lifecycle_te() {
+    check("campus1");
+}
+
+#[test]
+fn timeline1_year_of_availability() {
+    check("timeline1");
+}
+
+#[test]
+fn refresh1_technology_refresh() {
+    check("refresh1");
+}
+
+#[test]
+fn experiment_registry_is_complete() {
+    for id in ALL_EXPERIMENTS {
+        assert!(run(id, true).is_some(), "registry lists unknown id {id}");
+    }
+    assert_eq!(ALL_EXPERIMENTS.len(), 23);
+}

@@ -1,0 +1,165 @@
+//! Property-based tests on cross-crate invariants.
+
+use lightwave::dcn::{flowsim, te, Mesh, TrafficMatrix};
+use lightwave::fec::{ExtHamming, ReedSolomon};
+use lightwave::ocs::{Crossbar, PortMapping};
+use lightwave::superpod::slice::{Slice, SliceShape};
+use lightwave::superpod::Torus;
+use lightwave::units::math;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// RS(n,k) corrects any ≤ t random symbol corruption, always.
+    #[test]
+    fn rs_roundtrip_any_correctable_pattern(
+        seed in 0u64..1000,
+        nerr in 0usize..=7,
+    ) {
+        use rand::{RngExt, SeedableRng};
+        let rs = ReedSolomon::new(31, 17); // t = 7
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let data: Vec<u16> = (0..rs.k()).map(|_| rng.random_range(0..1024u16)).collect();
+        let cw = rs.encode(&data);
+        let mut rx = cw.clone();
+        let mut pos: Vec<usize> = (0..rs.n()).collect();
+        for i in 0..nerr {
+            let j = rng.random_range(i..pos.len());
+            pos.swap(i, j);
+            rx[pos[i]] ^= rng.random_range(1..1024u16);
+        }
+        prop_assert!(rs.decode(&mut rx).is_ok());
+        prop_assert_eq!(rx, cw);
+    }
+
+    /// Extended Hamming: encode/extract is the identity; every single-bit
+    /// error corrects; weight parity always even.
+    #[test]
+    fn hamming_invariants(data in 0u128..(1u128 << 64), flip in 0usize..128) {
+        let code = ExtHamming;
+        let cw = code.encode(data);
+        prop_assert_eq!(code.extract_data(cw), data);
+        prop_assert_eq!(cw.count_ones() % 2, 0, "codewords have even weight");
+        let corrupted = cw ^ (1u128 << flip);
+        match code.hard_decode(corrupted) {
+            lightwave::fec::hamming::HardDecode::Corrected { codeword, .. } => {
+                prop_assert_eq!(codeword, cw)
+            }
+            _ => prop_assert!(false, "single error must correct"),
+        }
+    }
+
+    /// Crossbar delta application: applying delta_to(target) always yields
+    /// exactly `target`, and unchanged circuits are disjoint from
+    /// removed/added.
+    #[test]
+    fn crossbar_delta_reaches_target(
+        initial in proptest::collection::vec((0u16..32, 0u16..32), 0..16),
+        target in proptest::collection::vec((0u16..32, 0u16..32), 0..16),
+    ) {
+        let mut xb = Crossbar::new(32);
+        for (n, s) in initial {
+            let _ = xb.connect(n, s); // conflicts silently skipped
+        }
+        let mut tgt = PortMapping::new();
+        for (n, s) in target {
+            let _ = tgt.insert(n, s); // conflicts silently skipped
+        }
+        let delta = xb.delta_to(&tgt);
+        for &n in &delta.remove {
+            xb.disconnect(n).expect("removal is valid");
+        }
+        for &(n, s) in &delta.add {
+            xb.connect(n, s).expect("addition is valid after removals");
+        }
+        prop_assert_eq!(xb.mapping(), tgt);
+        for (n, _) in &delta.unchanged {
+            prop_assert!(!delta.remove.contains(n));
+            prop_assert!(!delta.add.iter().any(|(an, _)| an == n));
+        }
+    }
+
+    /// Slice wiring: the circuits of any slice are port-disjoint per OCS
+    /// (the property that makes arbitrary concurrent slices composable).
+    #[test]
+    fn slice_circuits_are_port_disjoint(
+        p in 1usize..=4, q in 1usize..=4, r in 1usize..=4,
+        offset in 0u8..16,
+    ) {
+        let shape = SliceShape::new(4 * p, 4 * q, 4 * r).expect("valid");
+        let cubes: Vec<u8> = (0..shape.cube_count() as u8).map(|c| c + offset).collect();
+        prop_assume!(cubes.iter().all(|&c| c < 64));
+        let slice = Slice::new(shape, cubes).expect("valid");
+        let mut seen = std::collections::BTreeSet::new();
+        for hop in slice.required_hops() {
+            for c in hop.circuits() {
+                prop_assert!(seen.insert((c.ocs, true, c.north)), "north reuse");
+                prop_assert!(seen.insert((c.ocs, false, c.south)), "south reuse");
+            }
+        }
+    }
+
+    /// Torus routing: path length equals torus distance, for all pairs.
+    #[test]
+    fn torus_route_length_is_distance(
+        a in 0usize..8, b in 0usize..8, c in 0usize..8,
+        x in 0usize..8, y in 0usize..8, z in 0usize..8,
+    ) {
+        let t = Torus::new(SliceShape::new(8, 8, 8).expect("valid"));
+        let from = lightwave::superpod::torus::Chip { coords: [a, b, c] };
+        let to = lightwave::superpod::torus::Chip { coords: [x, y, z] };
+        let path = t.route(from, to);
+        prop_assert_eq!(path.len(), t.distance(from, to));
+        if let Some(last) = path.last() {
+            prop_assert_eq!(*last, to);
+        } else {
+            prop_assert_eq!(from, to);
+        }
+    }
+
+    /// TE meshes always respect budgets and stay connected, whatever the
+    /// demand looks like.
+    #[test]
+    fn te_mesh_invariants(seed in 0u64..500, n in 4usize..14) {
+        let tm = TrafficMatrix::gravity(n, 10.0, seed);
+        let mesh = te::engineer(&tm, 2 * (n - 1));
+        prop_assert!(mesh.within_budget());
+        prop_assert!(mesh.connected());
+    }
+
+    /// Flow allocation never manufactures throughput: per-pair rate ≤
+    /// demand, total ≤ offered.
+    #[test]
+    fn flow_allocation_is_conservative(seed in 0u64..200) {
+        let tm = TrafficMatrix::gravity(8, 60.0, seed);
+        let mesh = Mesh::uniform(8, 14);
+        let r = flowsim::allocate(&mesh, &tm, 100.0);
+        prop_assert!(r.throughput <= r.offered + 1e-6);
+        for i in 0..8 {
+            for j in 0..8 {
+                prop_assert!(r.rate[i][j] <= tm.demand(i, j) + 1e-9);
+            }
+        }
+    }
+
+    /// Binomial tail is a valid, monotone-in-k probability.
+    #[test]
+    fn binomial_tail_sane(n in 1u64..200, k in 0u64..200, p in 0.0f64..1.0) {
+        prop_assume!(k <= n);
+        let t = math::binomial_tail_gt(n, k, p);
+        prop_assert!((0.0..=1.0).contains(&t));
+        if k > 0 {
+            prop_assert!(math::binomial_tail_gt(n, k - 1, p) >= t - 1e-12);
+        }
+    }
+
+    /// Q-function inverse really inverts over the BER range of interest.
+    #[test]
+    fn q_inverse_inverts(exp in 1.0f64..12.0) {
+        let p = 10f64.powf(-exp) * 0.5;
+        let x = math::q_inverse(p);
+        let back = math::q_function(x);
+        prop_assert!((back.ln() - p.ln()).abs() < 1e-6);
+    }
+}
