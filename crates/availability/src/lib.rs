@@ -64,7 +64,7 @@ pub fn at_least_k_of_n(n: u64, k: u64, p: f64) -> f64 {
 /// failed one (the OCS re-wires around it).
 pub fn reconfigurable_goodput(slice_cubes: usize, cube_avail: Availability, target: f64) -> f64 {
     assert!(
-        slice_cubes >= 1 && slice_cubes <= POD_CUBES,
+        (1..=POD_CUBES).contains(&slice_cubes),
         "slice must fit the pod"
     );
     let mut best = 0usize;
@@ -85,7 +85,7 @@ pub fn reconfigurable_goodput(slice_cubes: usize, cube_avail: Availability, targ
 /// P(at least g of the wired slices up) ≥ target.
 pub fn static_goodput(slice_cubes: usize, cube_avail: Availability, target: f64) -> f64 {
     assert!(
-        slice_cubes >= 1 && slice_cubes <= POD_CUBES,
+        (1..=POD_CUBES).contains(&slice_cubes),
         "slice must fit the pod"
     );
     let wired = POD_CUBES / slice_cubes;

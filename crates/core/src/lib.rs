@@ -28,6 +28,7 @@ pub use lightwave_ocs as ocs;
 pub use lightwave_optics as optics;
 pub use lightwave_scheduler as scheduler;
 pub use lightwave_superpod as superpod;
+pub use lightwave_telemetry as telemetry;
 pub use lightwave_transceiver as transceiver;
 pub use lightwave_units as units;
 
@@ -37,6 +38,7 @@ pub mod prelude {
     pub use lightwave_dcn::{Mesh, TrafficMatrix};
     pub use lightwave_mlperf::{ChipParams, LlmConfig, SliceOptimizer};
     pub use lightwave_superpod::{Slice, SliceShape, Superpod};
+    pub use lightwave_telemetry::{FleetTelemetry, Severity};
     pub use lightwave_transceiver::{DspConfig, ModuleFamily, Transceiver};
     pub use lightwave_units::{Availability, Ber, Db, Dbm, Gbps, Nanos};
 }

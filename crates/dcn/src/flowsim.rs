@@ -8,6 +8,10 @@
 //! residual demand over the best transit paths. Outputs: per-pair achieved
 //! rate, total throughput, and a flow-completion-time proxy.
 
+// Index loops below mirror the matrix math (i, j range over AB pairs
+// across several parallel matrices); iterator forms obscure that.
+#![allow(clippy::needless_range_loop)]
+
 use crate::topology::Mesh;
 use crate::traffic::TrafficMatrix;
 use serde::{Deserialize, Serialize};

@@ -7,6 +7,10 @@
 //! Jupiter's topology engineering \[47\]: direct capacity follows long-lived
 //! demand, and what cannot go direct rides two-hop transit.
 
+// Index loops below mirror the matrix math (i, j range over AB pairs
+// across several parallel matrices); iterator forms obscure that.
+#![allow(clippy::needless_range_loop)]
+
 use crate::topology::Mesh;
 use crate::traffic::TrafficMatrix;
 

@@ -7,6 +7,10 @@
 //! per AB pair — uniform by default, demand-shaped under topology
 //! engineering.
 
+// Index loops below mirror the matrix math (i, j range over AB pairs
+// across several parallel matrices); iterator forms obscure that.
+#![allow(clippy::needless_range_loop)]
+
 use serde::{Deserialize, Serialize};
 
 /// Aggregation-block index.

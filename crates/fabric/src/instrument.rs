@@ -1,0 +1,199 @@
+//! Bridges the fabric control plane into the fleet observability
+//! subsystem (`lightwave-telemetry`).
+//!
+//! Two views feed in here:
+//!
+//! - **commits** — each controller transaction records its delta size,
+//!   disturbed-circuit count, the non-disruption audit (untouched
+//!   circuits), and time-to-traffic-ready;
+//! - **fleet scrapes** — every switch's health gauges, loss-drift census,
+//!   availability SLO observation, and raw alarms (which the aggregator
+//!   debounces and correlates), via a per-switch [`OcsInstruments`].
+
+use crate::controller::{CommitError, CommitReport, FabricController, FabricTarget};
+use crate::fleet::{OcsFleet, OcsId};
+use lightwave_ocs::instrument::OcsInstruments;
+use lightwave_telemetry::{CounterId, EventKind, FleetTelemetry, HistogramId};
+use lightwave_units::Nanos;
+use std::collections::BTreeMap;
+
+/// Fleet-metric handles for the fabric controller.
+#[derive(Debug, Default)]
+pub struct FabricInstruments {
+    handles: Option<Handles>,
+    per_switch: BTreeMap<OcsId, OcsInstruments>,
+}
+
+#[derive(Debug, Clone)]
+struct Handles {
+    commits: CounterId,
+    circuits_added: CounterId,
+    circuits_removed: CounterId,
+    circuits_untouched: CounterId,
+    delta_size: HistogramId,
+    settle_ms: HistogramId,
+}
+
+impl Handles {
+    fn register(sink: &mut FleetTelemetry) -> Handles {
+        let m = &mut sink.metrics;
+        Handles {
+            commits: m.counter("fabric_commits_total", &[]),
+            circuits_added: m.counter("fabric_circuits_added_total", &[]),
+            circuits_removed: m.counter("fabric_circuits_removed_total", &[]),
+            circuits_untouched: m.counter("fabric_circuits_untouched_total", &[]),
+            delta_size: m.histogram("fabric_commit_delta_circuits", &[]),
+            settle_ms: m.histogram("fabric_commit_settle_ms", &[]),
+        }
+    }
+}
+
+impl FabricInstruments {
+    /// Registers the controller-level instruments in `sink`'s metrics
+    /// registry; per-switch instruments register lazily at first scrape.
+    pub fn register(sink: &mut FleetTelemetry) -> FabricInstruments {
+        FabricInstruments {
+            handles: Some(Handles::register(sink)),
+            per_switch: BTreeMap::new(),
+        }
+    }
+
+    fn handles(&mut self, sink: &mut FleetTelemetry) -> Handles {
+        self.handles
+            .get_or_insert_with(|| Handles::register(sink))
+            .clone()
+    }
+
+    /// Records a committed transaction: delta counters, disturbed-circuit
+    /// and settle-time histograms, and a [`EventKind::Commit`] event.
+    ///
+    /// `at` is the simulation time the commit was issued.
+    pub fn record_commit(&mut self, sink: &mut FleetTelemetry, at: Nanos, report: &CommitReport) {
+        let h = self.handles(sink);
+        sink.metrics.inc(h.commits, at, 1);
+        sink.metrics.inc(h.circuits_added, at, report.added as u64);
+        sink.metrics
+            .inc(h.circuits_removed, at, report.removed as u64);
+        sink.metrics
+            .inc(h.circuits_untouched, at, report.untouched as u64);
+        sink.metrics
+            .observe(h.delta_size, at, (report.added + report.removed) as f64);
+        let settle = report.traffic_ready_at.saturating_sub(at);
+        if report.added > 0 {
+            sink.metrics
+                .observe(h.settle_ms, at, settle.as_millis_f64());
+        }
+        sink.events.emit(
+            at,
+            "fabric",
+            EventKind::Commit {
+                switches: report.per_switch.len() as u32,
+                added: report.added as u32,
+                removed: report.removed as u32,
+                untouched: report.untouched as u32,
+                settle,
+            },
+        );
+        // Fan the per-switch reports into each switch's own instruments
+        // (reconfig counters + switch-duration histogram).
+        for (&id, switch_report) in &report.per_switch {
+            let inst = self
+                .per_switch
+                .entry(id)
+                .or_insert_with(|| OcsInstruments::register(sink, id));
+            inst.record_reconfig(sink, at, switch_report);
+        }
+    }
+
+    /// Commits `target` through `controller`, recording the outcome.
+    /// Failed commits record nothing (nothing was applied).
+    pub fn commit_observed(
+        &mut self,
+        sink: &mut FleetTelemetry,
+        controller: &mut FabricController,
+        target: &FabricTarget,
+    ) -> Result<CommitReport, CommitError> {
+        let at = fleet_now(&controller.fleet);
+        let report = controller.commit(target)?;
+        self.record_commit(sink, at, &report);
+        Ok(report)
+    }
+
+    /// Scrapes every switch in the fleet: health gauges, drift census,
+    /// SLO observations, and alarm forwarding into the aggregator.
+    pub fn scrape_fleet(&mut self, sink: &mut FleetTelemetry, fleet: &OcsFleet) {
+        let at = fleet_now(fleet);
+        for (&id, ocs) in fleet.iter() {
+            let inst = self
+                .per_switch
+                .entry(id)
+                .or_insert_with(|| OcsInstruments::register(sink, id));
+            inst.scrape(sink, at, ocs);
+        }
+        sink.advance(at);
+    }
+}
+
+fn fleet_now(fleet: &OcsFleet) -> Nanos {
+    fleet
+        .iter()
+        .map(|(_, ocs)| ocs.now())
+        .max()
+        .unwrap_or(Nanos(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightwave_ocs::PortMapping;
+
+    #[test]
+    fn observed_commit_records_delta_and_event() {
+        let mut sink = FleetTelemetry::new();
+        let mut inst = FabricInstruments::register(&mut sink);
+        let mut c = FabricController::new(OcsFleet::build(2, 17));
+        let mut t = FabricTarget::new();
+        t.set(0, PortMapping::from_pairs([(0, 1), (2, 3)]).unwrap());
+        t.set(1, PortMapping::from_pairs([(5, 6)]).unwrap());
+        let report = inst.commit_observed(&mut sink, &mut c, &t).unwrap();
+        assert_eq!(report.added, 3);
+        assert_eq!(
+            sink.metrics
+                .find("fabric_commits_total", &[])
+                .map(|v| format!("{v:?}")),
+            Some("Counter(1)".to_string())
+        );
+        assert!(sink.events.recent().any(|e| matches!(
+            e.kind,
+            EventKind::Commit {
+                switches: 2,
+                added: 3,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn failed_commit_records_nothing() {
+        let mut sink = FleetTelemetry::new();
+        let mut inst = FabricInstruments::register(&mut sink);
+        let mut c = FabricController::new(OcsFleet::build(1, 3));
+        let mut t = FabricTarget::new();
+        t.set(9, PortMapping::from_pairs([(0, 1)]).unwrap());
+        assert!(inst.commit_observed(&mut sink, &mut c, &t).is_err());
+        assert_eq!(sink.events.published(), 0);
+    }
+
+    #[test]
+    fn fleet_scrape_forwards_alarms_once() {
+        let mut sink = FleetTelemetry::new();
+        let mut inst = FabricInstruments::register(&mut sink);
+        let mut fleet = OcsFleet::build(2, 5);
+        fleet.get_mut(1).unwrap().fail_mirror(true, 4);
+        inst.scrape_fleet(&mut sink, &fleet);
+        assert_eq!(sink.alarms.ingested(), 1);
+        inst.scrape_fleet(&mut sink, &fleet);
+        assert_eq!(sink.alarms.ingested(), 1, "scrape cursor advanced");
+        assert_eq!(sink.slo.len(), 2, "both switches SLO-tracked");
+    }
+}

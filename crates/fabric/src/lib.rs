@@ -13,12 +13,15 @@
 //!   completion-time accounting (OCS settle + transceiver bring-up).
 //! - [`maintenance`] — planned FRU replacement on live switches: blast
 //!   radius and expected outage, audited against what actually blinks.
+//! - [`instrument`] — feeds commits and fleet scrapes into the fleet
+//!   observability subsystem (`lightwave-telemetry`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod controller;
 pub mod fleet;
+pub mod instrument;
 pub mod maintenance;
 
 pub use controller::{CommitError, CommitReport, FabricController, FabricTarget};

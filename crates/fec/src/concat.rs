@@ -104,13 +104,13 @@ impl ConcatenatedCode {
             // Transmit ±1 per bit, receive with AWGN.
             let mut hard: u128 = 0;
             let mut reliability = [0.0f64; 128];
-            for i in 0..128 {
+            for (i, r) in reliability.iter_mut().enumerate() {
                 let tx = if (cw >> i) & 1 == 1 { 1.0 } else { -1.0 };
                 let y: f64 = tx + noise.sample(&mut rng);
                 if y > 0.0 {
                     hard |= 1u128 << i;
                 }
-                reliability[i] = y.abs();
+                *r = y.abs();
             }
             let decoded_cw = match self.inner_decoding {
                 InnerDecoding::Hard => match code.hard_decode(hard) {

@@ -29,8 +29,8 @@ fn tables() -> &'static Tables {
         let mut exp = vec![0u16; 2 * GROUP_ORDER];
         let mut log = vec![0u16; FIELD_SIZE];
         let mut x: u32 = 1;
-        for i in 0..GROUP_ORDER {
-            exp[i] = x as Gf;
+        for (i, e) in exp.iter_mut().enumerate().take(GROUP_ORDER) {
+            *e = x as Gf;
             log[x as usize] = i as u16;
             x <<= 1;
             if x & (FIELD_SIZE as u32) != 0 {

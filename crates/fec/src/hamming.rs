@@ -110,13 +110,13 @@ impl ExtHamming {
 
     /// True if `word` is a valid codeword.
     pub fn is_codeword(self, word: u128) -> bool {
-        self.syndrome(word) == 0 && word.count_ones() % 2 == 0
+        self.syndrome(word) == 0 && word.count_ones().is_multiple_of(2)
     }
 
     /// Hard-decision SEC-DED decoding.
     pub fn hard_decode(self, word: u128) -> HardDecode {
         let s = self.syndrome(word);
-        let parity_ok = word.count_ones() % 2 == 0;
+        let parity_ok = word.count_ones().is_multiple_of(2);
         match (s, parity_ok) {
             (0, true) => HardDecode::Corrected {
                 codeword: word,

@@ -42,7 +42,10 @@ impl ReedSolomon {
     pub fn new(n: usize, k: usize) -> ReedSolomon {
         assert!(n <= gf::GROUP_ORDER, "n must be ≤ 1023 for GF(2^10)");
         assert!(k < n, "k must be < n");
-        assert!((n - k) % 2 == 0, "n − k must be even (2t parity symbols)");
+        assert!(
+            (n - k).is_multiple_of(2),
+            "n − k must be even (2t parity symbols)"
+        );
         // g(x) = Π_{i=0}^{2t-1} (x − α^i); lowest-degree first.
         let two_t = n - k;
         let mut g: Vec<Gf> = vec![1];
@@ -493,8 +496,8 @@ mod tests {
         let data = random_data(&rs, &mut rng);
         let cw = rs.encode(&data);
         let mut rx = cw.clone();
-        for i in 100..115 {
-            rx[i] ^= 0x2AA;
+        for sym in &mut rx[100..115] {
+            *sym ^= 0x2AA;
         }
         assert_eq!(rs.decode(&mut rx).unwrap(), 15);
         assert_eq!(rx, cw);

@@ -1,0 +1,257 @@
+//! Bridges one switch's telemetry surface into the fleet observability
+//! subsystem (`lightwave-telemetry`).
+//!
+//! The split mirrors the paper's architecture: each Palomar exposes raw
+//! counters and alarms (§3.2.2, [`crate::telemetry`]), and a fleet
+//! control plane scrapes them into aggregated metrics, correlated
+//! incidents, and availability SLOs. [`OcsInstruments`] is the per-switch
+//! scraper: registered once, then recorded through copy handles on the
+//! hot path.
+
+use crate::palomar::{OcsHealth, PalomarOcs, ReconfigReport};
+use crate::telemetry::{Alarm, AlarmCode};
+use lightwave_telemetry::{
+    AlarmCause, AlarmRecord, CounterId, EventKind, FleetTelemetry, GaugeId, HistogramId,
+};
+use lightwave_units::{Db, Nanos};
+
+/// Fleet-metric handles for one switch, labeled `{switch=<id>}`.
+#[derive(Debug, Clone)]
+pub struct OcsInstruments {
+    switch: u32,
+    reconfigs: CounterId,
+    circuits_preserved: CounterId,
+    alarms_forwarded: CounterId,
+    switch_duration_ms: HistogramId,
+    loss_drift_db: HistogramId,
+    circuits: GaugeId,
+    spares_north: GaugeId,
+    spares_south: GaugeId,
+    power_w: GaugeId,
+    /// How many per-switch alarms have already been forwarded (the
+    /// switch's alarm log is append-only, so this is a scrape cursor).
+    cursor: usize,
+}
+
+impl OcsInstruments {
+    /// Registers the per-switch instruments in `sink`'s metrics registry.
+    pub fn register(sink: &mut FleetTelemetry, switch: u32) -> OcsInstruments {
+        let id = switch.to_string();
+        let labels: &[(&str, &str)] = &[("switch", &id)];
+        let m = &mut sink.metrics;
+        OcsInstruments {
+            switch,
+            reconfigs: m.counter("ocs_reconfigs_total", labels),
+            circuits_preserved: m.counter("ocs_circuits_preserved_total", labels),
+            alarms_forwarded: m.counter("ocs_alarms_forwarded_total", labels),
+            switch_duration_ms: m.histogram("ocs_switch_duration_ms", labels),
+            loss_drift_db: m.histogram("ocs_loss_drift_db", labels),
+            circuits: m.gauge("ocs_circuits", labels),
+            spares_north: m.gauge("ocs_mirror_spares_north", labels),
+            spares_south: m.gauge("ocs_mirror_spares_south", labels),
+            power_w: m.gauge("ocs_power_w", labels),
+            cursor: 0,
+        }
+    }
+
+    /// Records a completed bulk reconfiguration: switch duration
+    /// histogram, delta counters, and a [`EventKind::Reconfig`] event.
+    ///
+    /// `started` is the simulation time the reconfiguration was issued;
+    /// the duration is `report.ready_at - started` (zero when the delta
+    /// added nothing).
+    pub fn record_reconfig(
+        &mut self,
+        sink: &mut FleetTelemetry,
+        started: Nanos,
+        report: &ReconfigReport,
+    ) {
+        let duration = report.ready_at.saturating_sub(started);
+        sink.metrics.inc(self.reconfigs, started, 1);
+        sink.metrics
+            .inc(self.circuits_preserved, started, report.untouched as u64);
+        if !report.added.is_empty() {
+            sink.metrics
+                .observe(self.switch_duration_ms, started, duration.as_millis_f64());
+        }
+        sink.events.emit(
+            started,
+            "ocs",
+            EventKind::Reconfig {
+                switch: self.switch,
+                added: report.added.len() as u32,
+                removed: report.removed.len() as u32,
+                untouched: report.untouched as u32,
+                duration,
+            },
+        );
+    }
+
+    /// Records a health snapshot: circuit/spare/power gauges plus the
+    /// up/down observation feeding the availability SLO for `ocs-<id>`.
+    pub fn record_health(&mut self, sink: &mut FleetTelemetry, at: Nanos, health: &OcsHealth) {
+        sink.metrics.set(self.circuits, at, health.circuits as f64);
+        sink.metrics
+            .set(self.spares_north, at, health.mirror_spares.0 as f64);
+        sink.metrics
+            .set(self.spares_south, at, health.mirror_spares.1 as f64);
+        sink.metrics.set(self.power_w, at, health.power_w);
+        sink.slo
+            .observe(at, &format!("ocs-{}", self.switch), health.operational);
+    }
+
+    /// Records the proactive-maintenance drift census: every port whose
+    /// serving mirror drifted past `threshold` feeds the loss-drift
+    /// histogram.
+    pub fn record_drift(&mut self, sink: &mut FleetTelemetry, at: Nanos, ocs: &PalomarOcs) {
+        for (_, _, drift) in ocs.drift_report(Db(0.0)) {
+            sink.metrics.observe(self.loss_drift_db, at, drift.db());
+        }
+    }
+
+    /// Forwards any alarms the switch raised since the last scrape into
+    /// the fleet aggregator (debounce + blast-radius correlation happen
+    /// there). Returns how many alarms were forwarded.
+    pub fn forward_alarms(&mut self, sink: &mut FleetTelemetry, ocs: &PalomarOcs) -> usize {
+        let alarms = ocs.telemetry().alarms();
+        let fresh = &alarms[self.cursor.min(alarms.len())..];
+        let n = fresh.len();
+        for alarm in fresh {
+            let rec = alarm_record(self.switch, alarm);
+            sink.metrics.inc(self.alarms_forwarded, alarm.at, 1);
+            sink.ingest_alarm(rec);
+        }
+        self.cursor = alarms.len();
+        n
+    }
+
+    /// One full scrape: health gauges, drift census, alarm forwarding.
+    pub fn scrape(&mut self, sink: &mut FleetTelemetry, at: Nanos, ocs: &PalomarOcs) {
+        let health = ocs.health();
+        self.record_health(sink, at, &health);
+        self.record_drift(sink, at, ocs);
+        self.forward_alarms(sink, ocs);
+    }
+}
+
+/// Converts a per-switch [`Alarm`] into the fleet aggregator's record.
+///
+/// The only lossy step is [`AlarmCode::HighLoss`]'s `f64` reading, which
+/// is quantized to milli-dB so the fleet cause is hashable/orderable.
+pub fn alarm_record(switch: u32, alarm: &Alarm) -> AlarmRecord {
+    let cause = match alarm.code {
+        AlarmCode::MirrorFailed {
+            north_die,
+            port,
+            spare_used,
+        } => AlarmCause::MirrorFailed {
+            north_die,
+            port,
+            spare_used,
+        },
+        AlarmCode::AlignmentTimeout { north } => AlarmCause::AlignmentTimeout { north },
+        AlarmCode::FruFailed { slot } => AlarmCause::FruFailed { slot: slot as u32 },
+        AlarmCode::ChassisDown => AlarmCause::ChassisDown,
+        AlarmCode::HighLoss {
+            north,
+            south,
+            loss_db,
+        } => AlarmCause::HighLoss {
+            north,
+            south,
+            loss_mdb: (loss_db * 1000.0).round() as i32,
+        },
+    };
+    AlarmRecord {
+        at: alarm.at,
+        severity: alarm.severity,
+        switch,
+        cause,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crossbar::PortMapping;
+    use crate::telemetry::Severity;
+
+    #[test]
+    fn reconfig_feeds_metrics_and_events() {
+        let mut sink = FleetTelemetry::new();
+        let mut ocs = PalomarOcs::new(3, 42);
+        let mut inst = OcsInstruments::register(&mut sink, 3);
+        let target = PortMapping::from_pairs([(0, 10), (1, 11)]).unwrap();
+        let started = ocs.now();
+        let report = ocs.apply_mapping(&target).unwrap();
+        inst.record_reconfig(&mut sink, started, &report);
+        assert_eq!(
+            sink.metrics.counter_value(inst.reconfigs),
+            1,
+            "one reconfig recorded"
+        );
+        let h = sink.metrics.histogram_value(inst.switch_duration_ms);
+        assert_eq!(h.count(), 1);
+        assert!(h.max().unwrap() > 1.0, "ms-class switch duration");
+        assert!(matches!(
+            sink.events.recent().last().unwrap().kind,
+            EventKind::Reconfig {
+                switch: 3,
+                added: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn alarm_forwarding_is_incremental() {
+        let mut sink = FleetTelemetry::new();
+        let mut ocs = PalomarOcs::new(0, 4);
+        let mut inst = OcsInstruments::register(&mut sink, 0);
+        ocs.fail_mirror(true, 9);
+        assert_eq!(inst.forward_alarms(&mut sink, &ocs), 1);
+        assert_eq!(inst.forward_alarms(&mut sink, &ocs), 0, "cursor advanced");
+        ocs.fail_mirror(true, 9);
+        assert_eq!(inst.forward_alarms(&mut sink, &ocs), 1);
+        assert_eq!(sink.alarms.ingested(), 2);
+    }
+
+    #[test]
+    fn high_loss_quantizes_to_milli_db() {
+        let alarm = Alarm {
+            at: Nanos(5),
+            severity: Severity::Warning,
+            code: AlarmCode::HighLoss {
+                north: 1,
+                south: 2,
+                loss_db: 2.1234,
+            },
+        };
+        let rec = alarm_record(7, &alarm);
+        assert_eq!(
+            rec.cause,
+            AlarmCause::HighLoss {
+                north: 1,
+                south: 2,
+                loss_mdb: 2123
+            }
+        );
+        assert_eq!(rec.switch, 7);
+    }
+
+    #[test]
+    fn health_scrape_drives_slo() {
+        let mut sink = FleetTelemetry::new();
+        let mut ocs = PalomarOcs::new(2, 8);
+        let mut inst = OcsInstruments::register(&mut sink, 2);
+        inst.scrape(&mut sink, Nanos(0), &ocs);
+        ocs.fail_fru(0);
+        ocs.fail_fru(1); // both PSUs: chassis down
+        ocs.advance(Nanos::from_secs_f64(10.0));
+        inst.scrape(&mut sink, ocs.now(), &ocs);
+        let report = sink.slo.report(Nanos::from_secs_f64(20.0));
+        let o = report.objects.iter().find(|o| o.object == "ocs-2").unwrap();
+        assert!(o.in_violation, "10 s+ outage blows the 99.98% budget");
+        assert!(o.downtime >= Nanos::from_secs_f64(10.0));
+    }
+}

@@ -28,6 +28,8 @@
 //!   108 W power model.
 //! - [`telemetry`] — the counters and alarms a production control plane
 //!   scrapes ("we invested heavily in improving telemetry", §3.2.2).
+//! - [`instrument`] — the scraper bridging one switch into the fleet
+//!   observability subsystem (`lightwave-telemetry`).
 //! - [`tech`] — the OCS technology-comparison data of Table C.1.
 //!
 //! The facade type is [`PalomarOcs`].
@@ -38,6 +40,7 @@
 pub mod camera;
 pub mod chassis;
 pub mod crossbar;
+pub mod instrument;
 pub mod loss;
 pub mod mems;
 pub mod tech;

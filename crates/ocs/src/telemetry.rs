@@ -12,15 +12,11 @@ use lightwave_units::Nanos;
 use serde::{Deserialize, Serialize};
 
 /// Severity of an alarm.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
-pub enum Severity {
-    /// Informational; no action needed.
-    Info,
-    /// Degraded but operating; schedule service.
-    Warning,
-    /// Service-affecting; page.
-    Critical,
-}
+///
+/// This is the fleet-wide scale from `lightwave-telemetry`, re-exported so
+/// per-switch alarms and fleet incidents share one explicit is-worse-than
+/// ordering (`Info < Warning < Critical`, see [`Severity::is_worse_than`]).
+pub use lightwave_telemetry::Severity;
 
 /// A timestamped alarm.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -34,6 +30,10 @@ pub struct Alarm {
 }
 
 /// Alarm codes raised by the simulated Palomar.
+///
+/// Not `Eq`: [`AlarmCode::HighLoss`] carries the measured loss as `f64`
+/// (the raw telemetry reading). The fleet aggregator's `AlarmCause`
+/// quantizes that to milli-dB so incidents can be hashed and map-keyed.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum AlarmCode {
     /// A mirror failed in the field; spare swapped if available.
@@ -158,5 +158,8 @@ mod tests {
     fn severity_orders() {
         assert!(Severity::Critical > Severity::Warning);
         assert!(Severity::Warning > Severity::Info);
+        // The re-exported type keeps the explicit is-worse-than relation.
+        assert!(Severity::Critical.is_worse_than(Severity::Warning));
+        assert!(!Severity::Info.is_worse_than(Severity::Info));
     }
 }

@@ -358,7 +358,10 @@ mod tests {
             wideband_residual: 0.02,
         };
         let f = cfg.mpi_power_factor();
-        assert!(f >= 0.02 && f < 0.021, "residual floors the factor: {f}");
+        assert!(
+            (0.02..0.021).contains(&f),
+            "residual floors the factor: {f}"
+        );
     }
 
     #[test]

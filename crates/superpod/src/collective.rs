@@ -84,7 +84,7 @@ pub fn torus_all_reduce(bytes: f64, ring_lens: &[usize], p: &IciParams) -> f64 {
         t += ring_reduce_scatter(payload, len, p);
         payload /= len as f64;
     }
-    let mut payload = payload; // the fully scattered shard
+    // `payload` is now the fully scattered shard.
     for &len in ring_lens.iter().rev() {
         payload *= len as f64;
         t += ring_all_gather(payload, len, p);

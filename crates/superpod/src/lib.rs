@@ -16,6 +16,8 @@
 //! - [`collective`] — α-β cost models for ring/torus collectives on ICI.
 //! - [`collective_sim`] — step-level collective execution against a
 //!   per-link bandwidth map (straggler analysis).
+//! - [`instrument`] — straggler detection feeding the fleet
+//!   observability subsystem (`lightwave-telemetry`).
 //! - [`hybrid`] — hybrid ICI-DCN collectives across multiple pods
 //!   (§2.2.2, Fig. 2).
 //! - [`torus_nd`] — the §6 future-work 4D/6D torus trade study.
@@ -29,6 +31,7 @@ pub mod collective;
 pub mod collective_sim;
 pub mod geometry;
 pub mod hybrid;
+pub mod instrument;
 pub mod pod;
 pub mod slice;
 pub mod torus;

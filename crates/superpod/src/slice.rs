@@ -109,11 +109,11 @@ impl SliceShape {
         let max = chips / (CUBE_EDGE * CUBE_EDGE);
         let mut a = CUBE_EDGE;
         while a <= max.max(CUBE_EDGE) && a <= chips {
-            if chips % a == 0 {
+            if chips.is_multiple_of(a) {
                 let rest = chips / a;
                 let mut b = CUBE_EDGE;
                 while b <= rest {
-                    if rest % b == 0 {
+                    if rest.is_multiple_of(b) {
                         let c = rest / b;
                         if let Ok(shape) = SliceShape::new(a, b, c) {
                             out.push(shape);

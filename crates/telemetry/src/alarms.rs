@@ -1,0 +1,580 @@
+//! Fleet-wide alarm aggregation: debounce, hysteresis, escalation, and
+//! blast-radius correlation.
+//!
+//! §3.2.2: the switches have a large "blast radius" — one chassis-level
+//! fault disturbs every circuit through the switch, and naive per-alarm
+//! paging would page an operator 48 times for one failed FRU. The
+//! aggregator turns the raw per-switch alarm stream into *incidents*:
+//!
+//! - **Debounce**: repeats of the same fault class on the same switch
+//!   coalesce into the open incident (occurrence-counted, no new page).
+//! - **Blast-radius correlation**: while a root-cause incident (FRU or
+//!   chassis) is active on a switch, port-scoped symptoms from that
+//!   switch (mirror, alignment, loss alarms) are absorbed as correlated
+//!   children instead of paging.
+//! - **Escalation**: a storm of occurrences escalates an incident to
+//!   [`Severity::Critical`]; severity never moves down while an incident
+//!   lives (hysteresis — flapping cannot downgrade a page).
+//! - **Clearing**: an incident clears only after a quiet period with no
+//!   new occurrences, and reopening within the debounce window revives
+//!   the old incident rather than paging again (flap suppression).
+
+use crate::severity::Severity;
+use lightwave_units::Nanos;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Machine-parseable cause of a fleet alarm.
+///
+/// Mirrors the per-switch `ocs::telemetry::AlarmCode` plus causes raised
+/// by other subsystems. Measured losses are quantized to milli-dB so the
+/// type is fully `Eq`/`Ord` (and hence usable as a map key and exactly
+/// comparable across runs).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AlarmCause {
+    /// A MEMS mirror failed; spare swapped if available.
+    MirrorFailed {
+        /// North (true) or South (false) die.
+        north_die: bool,
+        /// Port whose mirror failed.
+        port: u16,
+        /// Whether a spare restored the port.
+        spare_used: bool,
+    },
+    /// Camera alignment loop failed to converge on a circuit.
+    AlignmentTimeout {
+        /// North port of the circuit.
+        north: u16,
+    },
+    /// A chassis FRU failed.
+    FruFailed {
+        /// Slot index in the chassis.
+        slot: u32,
+    },
+    /// The chassis dropped below operational redundancy.
+    ChassisDown,
+    /// A path's insertion loss exceeded its alarm threshold.
+    HighLoss {
+        /// North port.
+        north: u16,
+        /// South port.
+        south: u16,
+        /// Measured loss in milli-dB (quantized for exact comparison).
+        loss_mdb: i32,
+    },
+    /// A transceiver link renegotiated below its top rate (§3.3.1).
+    RateFallback {
+        /// Port (census index) of the link.
+        port: u32,
+    },
+    /// A collective phase ran materially slower than baseline.
+    Straggler {
+        /// Torus dimension of the slow phase.
+        dim: u8,
+    },
+}
+
+/// Correlation class of a cause: incidents are keyed per (switch, class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CauseClass {
+    /// Chassis-level root cause.
+    Chassis,
+    /// FRU-level root cause.
+    Fru,
+    /// Mirror-level symptom.
+    Mirror,
+    /// Alignment-loop symptom.
+    Alignment,
+    /// Optical-loss symptom.
+    Loss,
+    /// Transceiver link symptom.
+    Link,
+    /// Collective-performance symptom.
+    Collective,
+}
+
+impl AlarmCause {
+    /// The correlation class of this cause.
+    pub fn class(&self) -> CauseClass {
+        match self {
+            AlarmCause::MirrorFailed { .. } => CauseClass::Mirror,
+            AlarmCause::AlignmentTimeout { .. } => CauseClass::Alignment,
+            AlarmCause::FruFailed { .. } => CauseClass::Fru,
+            AlarmCause::ChassisDown => CauseClass::Chassis,
+            AlarmCause::HighLoss { .. } => CauseClass::Loss,
+            AlarmCause::RateFallback { .. } => CauseClass::Link,
+            AlarmCause::Straggler { .. } => CauseClass::Collective,
+        }
+    }
+
+    /// Whether this cause is a root cause whose blast radius absorbs
+    /// port-scoped symptoms on the same switch.
+    pub fn is_root_cause(&self) -> bool {
+        matches!(self.class(), CauseClass::Chassis | CauseClass::Fru)
+    }
+
+    /// Whether this cause is a port-scoped symptom that a root-cause
+    /// incident on the same switch can absorb.
+    pub fn is_correlatable_symptom(&self) -> bool {
+        matches!(
+            self.class(),
+            CauseClass::Mirror | CauseClass::Alignment | CauseClass::Loss
+        )
+    }
+}
+
+/// One raw alarm, attributed to a source switch (or pseudo-switch for
+/// non-OCS subsystems).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AlarmRecord {
+    /// Simulation time the alarm fired.
+    pub at: Nanos,
+    /// Severity as raised.
+    pub severity: Severity,
+    /// Source switch id.
+    pub switch: u32,
+    /// Cause.
+    pub cause: AlarmCause,
+}
+
+/// Aggregation policy knobs (all in simulation time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AggregatorConfig {
+    /// Reopening a cleared incident within this window of its clearing
+    /// revives it instead of paging again (flap suppression).
+    pub debounce: Nanos,
+    /// An incident clears after this long without new occurrences.
+    pub clear_after: Nanos,
+    /// Occurrence count at which an open incident escalates to Critical.
+    pub escalate_after: u64,
+    /// Symptoms within this window of a root incident's last activity are
+    /// absorbed into it.
+    pub correlation_window: Nanos,
+}
+
+impl Default for AggregatorConfig {
+    fn default() -> AggregatorConfig {
+        AggregatorConfig {
+            debounce: Nanos::from_millis(500),
+            clear_after: Nanos::from_secs_f64(5.0),
+            escalate_after: 10,
+            correlation_window: Nanos::from_secs_f64(2.0),
+        }
+    }
+}
+
+/// A correlated, debounced alarm group — the unit that pages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Incident {
+    /// Stable id, assigned in open order.
+    pub id: u64,
+    /// Source switch.
+    pub switch: u32,
+    /// Correlation class.
+    pub class: CauseClass,
+    /// First cause observed (the presumed root).
+    pub root: AlarmCause,
+    /// When the incident opened.
+    pub opened_at: Nanos,
+    /// Last occurrence or absorbed symptom.
+    pub last_at: Nanos,
+    /// Worst severity seen (never decreases).
+    pub severity: Severity,
+    /// Same-class occurrences (including the opening alarm).
+    pub occurrences: u64,
+    /// Symptoms absorbed by blast-radius correlation.
+    pub correlated: u64,
+    /// Set when the incident has gone quiet and cleared.
+    pub cleared_at: Option<Nanos>,
+}
+
+impl Incident {
+    /// Whether the incident is still open.
+    pub fn is_open(&self) -> bool {
+        self.cleared_at.is_none()
+    }
+}
+
+/// What [`AlarmAggregator::ingest`] did with a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// A new incident opened (this is the only outcome that pages).
+    Paged {
+        /// The new incident's id.
+        incident: u64,
+    },
+    /// Coalesced into an already-open (or revived) incident of its class.
+    Coalesced {
+        /// The absorbing incident's id.
+        incident: u64,
+    },
+    /// Escalated its incident to Critical while coalescing.
+    Escalated {
+        /// The escalated incident's id.
+        incident: u64,
+    },
+    /// Absorbed into a root-cause incident's blast radius.
+    Correlated {
+        /// The root incident's id.
+        incident: u64,
+    },
+}
+
+impl IngestOutcome {
+    /// The incident the record landed in.
+    pub fn incident(&self) -> u64 {
+        match *self {
+            IngestOutcome::Paged { incident }
+            | IngestOutcome::Coalesced { incident }
+            | IngestOutcome::Escalated { incident }
+            | IngestOutcome::Correlated { incident } => incident,
+        }
+    }
+}
+
+/// The fleet alarm aggregator.
+#[derive(Debug, Default)]
+pub struct AlarmAggregator {
+    config: AggregatorConfig,
+    /// Every incident ever opened, in id order (`incidents[id]`).
+    incidents: Vec<Incident>,
+    /// Open (or recently cleared, for debounce) incident per key.
+    latest: BTreeMap<(u32, CauseClass), usize>,
+    pages: u64,
+    suppressed: u64,
+    ingested: u64,
+}
+
+impl AlarmAggregator {
+    /// An aggregator with default policy.
+    pub fn new() -> AlarmAggregator {
+        AlarmAggregator::default()
+    }
+
+    /// An aggregator with explicit policy.
+    pub fn with_config(config: AggregatorConfig) -> AlarmAggregator {
+        AlarmAggregator {
+            config,
+            ..AlarmAggregator::default()
+        }
+    }
+
+    /// The active policy.
+    pub fn config(&self) -> &AggregatorConfig {
+        &self.config
+    }
+
+    /// Ingests one alarm record. Records must arrive in non-decreasing
+    /// time order per switch (the natural order of a simulation export).
+    pub fn ingest(&mut self, rec: AlarmRecord) -> IngestOutcome {
+        self.ingested += 1;
+        let class = rec.cause.class();
+        let key = (rec.switch, class);
+
+        // 1. An open (or revivable) incident of the same class absorbs
+        //    the record: debounce.
+        if let Some(&idx) = self.latest.get(&key) {
+            // Open incidents absorb anything within the clear window of
+            // their last activity; cleared ones revive within the
+            // debounce window of their *clearing* (flap suppression).
+            let (anchor, quiet_limit) = match self.incidents[idx].cleared_at {
+                None => (self.incidents[idx].last_at, self.config.clear_after),
+                Some(cleared) => (cleared, self.config.debounce),
+            };
+            let since = rec.at.saturating_sub(anchor);
+            if since <= quiet_limit {
+                let inc = &mut self.incidents[idx];
+                if inc.cleared_at.is_some() {
+                    // Flap: revive without a fresh page.
+                    inc.cleared_at = None;
+                }
+                inc.occurrences += 1;
+                inc.last_at = inc.last_at.max(rec.at);
+                inc.severity = inc.severity.max(rec.severity);
+                self.suppressed += 1;
+                if inc.occurrences >= self.config.escalate_after
+                    && inc.severity.is_worse_than(Severity::Info)
+                    && inc.severity != Severity::Critical
+                {
+                    inc.severity = Severity::Critical;
+                    return IngestOutcome::Escalated { incident: inc.id };
+                }
+                return IngestOutcome::Coalesced { incident: inc.id };
+            }
+        }
+
+        // 2. Blast-radius correlation: a recent root-cause incident on
+        //    the same switch absorbs port-scoped symptoms.
+        if rec.cause.is_correlatable_symptom() {
+            for root_class in [CauseClass::Fru, CauseClass::Chassis] {
+                if let Some(&idx) = self.latest.get(&(rec.switch, root_class)) {
+                    let inc = &mut self.incidents[idx];
+                    let since = rec.at.saturating_sub(inc.last_at);
+                    if inc.cleared_at.is_none() && since <= self.config.correlation_window {
+                        inc.correlated += 1;
+                        inc.last_at = inc.last_at.max(rec.at);
+                        inc.severity = inc.severity.max(rec.severity);
+                        self.suppressed += 1;
+                        return IngestOutcome::Correlated { incident: inc.id };
+                    }
+                }
+            }
+        }
+
+        // 3. Nothing absorbs it: open a new incident. This pages.
+        let id = self.incidents.len() as u64;
+        self.incidents.push(Incident {
+            id,
+            switch: rec.switch,
+            class,
+            root: rec.cause,
+            opened_at: rec.at,
+            last_at: rec.at,
+            severity: rec.severity,
+            occurrences: 1,
+            correlated: 0,
+            cleared_at: None,
+        });
+        self.latest.insert(key, id as usize);
+        self.pages += 1;
+        IngestOutcome::Paged { incident: id }
+    }
+
+    /// Advances aggregator time, clearing incidents quiet for longer than
+    /// the policy's `clear_after`. Returns ids of incidents cleared now.
+    pub fn advance(&mut self, now: Nanos) -> Vec<u64> {
+        let mut cleared = Vec::new();
+        for inc in &mut self.incidents {
+            if inc.is_open() && now.saturating_sub(inc.last_at) > self.config.clear_after {
+                inc.cleared_at = Some(now);
+                cleared.push(inc.id);
+            }
+        }
+        cleared
+    }
+
+    /// Every incident ever opened, in id (= open) order.
+    pub fn incidents(&self) -> &[Incident] {
+        &self.incidents
+    }
+
+    /// Incident by id.
+    pub fn incident(&self, id: u64) -> Option<&Incident> {
+        self.incidents.get(id as usize)
+    }
+
+    /// Currently-open incidents.
+    pub fn open_incidents(&self) -> impl Iterator<Item = &Incident> {
+        self.incidents.iter().filter(|i| i.is_open())
+    }
+
+    /// Total pages emitted (new incidents opened).
+    pub fn pages(&self) -> u64 {
+        self.pages
+    }
+
+    /// Alarms absorbed without paging (debounced + correlated).
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+
+    /// Total alarm records ingested.
+    pub fn ingested(&self) -> u64 {
+        self.ingested
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(at_ms: u64, severity: Severity, switch: u32, cause: AlarmCause) -> AlarmRecord {
+        AlarmRecord {
+            at: Nanos::from_millis(at_ms),
+            severity,
+            switch,
+            cause,
+        }
+    }
+
+    #[test]
+    fn one_fru_failure_pages_once_not_48_times() {
+        // The §3.2.2 blast-radius scenario: an HV-driver FRU fails and
+        // every one of its 48 disturbed circuits raises an alignment
+        // alarm. The operator gets exactly one page.
+        let mut agg = AlarmAggregator::new();
+        agg.ingest(rec(
+            0,
+            Severity::Warning,
+            3,
+            AlarmCause::FruFailed { slot: 6 },
+        ));
+        for port in 0..48u16 {
+            agg.ingest(rec(
+                1 + port as u64,
+                Severity::Warning,
+                3,
+                AlarmCause::AlignmentTimeout { north: port },
+            ));
+        }
+        assert_eq!(agg.pages(), 1, "one incident, one page");
+        assert_eq!(agg.suppressed(), 48);
+        let inc = &agg.incidents()[0];
+        assert_eq!(inc.correlated, 48);
+        assert_eq!(inc.class, CauseClass::Fru);
+    }
+
+    #[test]
+    fn symptoms_on_other_switches_still_page() {
+        let mut agg = AlarmAggregator::new();
+        agg.ingest(rec(
+            0,
+            Severity::Warning,
+            3,
+            AlarmCause::FruFailed { slot: 6 },
+        ));
+        let out = agg.ingest(rec(
+            1,
+            Severity::Warning,
+            4,
+            AlarmCause::AlignmentTimeout { north: 0 },
+        ));
+        assert!(matches!(out, IngestOutcome::Paged { .. }));
+        assert_eq!(agg.pages(), 2, "correlation is per-switch");
+    }
+
+    #[test]
+    fn debounce_coalesces_same_class_repeats() {
+        let mut agg = AlarmAggregator::new();
+        let first = agg.ingest(rec(
+            0,
+            Severity::Warning,
+            1,
+            AlarmCause::MirrorFailed {
+                north_die: true,
+                port: 5,
+                spare_used: true,
+            },
+        ));
+        let second = agg.ingest(rec(
+            100,
+            Severity::Warning,
+            1,
+            AlarmCause::MirrorFailed {
+                north_die: true,
+                port: 9,
+                spare_used: true,
+            },
+        ));
+        assert!(matches!(first, IngestOutcome::Paged { .. }));
+        assert!(matches!(second, IngestOutcome::Coalesced { .. }));
+        assert_eq!(agg.pages(), 1);
+        assert_eq!(agg.incidents()[0].occurrences, 2);
+    }
+
+    #[test]
+    fn occurrence_storm_escalates_to_critical() {
+        let mut agg = AlarmAggregator::new();
+        let mut escalated = false;
+        for i in 0..12u64 {
+            let out = agg.ingest(rec(
+                i * 10,
+                Severity::Warning,
+                2,
+                AlarmCause::AlignmentTimeout { north: 0 },
+            ));
+            if matches!(out, IngestOutcome::Escalated { .. }) {
+                escalated = true;
+            }
+        }
+        assert!(escalated, "a 12-occurrence storm escalates");
+        assert_eq!(agg.incidents()[0].severity, Severity::Critical);
+        assert_eq!(agg.pages(), 1, "escalation reuses the existing page");
+    }
+
+    #[test]
+    fn critical_never_downgrades_while_flapping() {
+        let mut agg = AlarmAggregator::new();
+        agg.ingest(rec(0, Severity::Critical, 7, AlarmCause::ChassisDown));
+        // Later Warning repeats of the same class must not soften it.
+        agg.ingest(rec(50, Severity::Warning, 7, AlarmCause::ChassisDown));
+        agg.ingest(rec(90, Severity::Info, 7, AlarmCause::ChassisDown));
+        assert_eq!(agg.incidents()[0].severity, Severity::Critical);
+    }
+
+    #[test]
+    fn quiet_incidents_clear_and_flaps_revive_without_paging() {
+        let cfg = AggregatorConfig {
+            debounce: Nanos::from_millis(500),
+            clear_after: Nanos::from_millis(100),
+            ..AggregatorConfig::default()
+        };
+        let mut agg = AlarmAggregator::with_config(cfg);
+        agg.ingest(rec(
+            0,
+            Severity::Warning,
+            1,
+            AlarmCause::HighLoss {
+                north: 1,
+                south: 2,
+                loss_mdb: 2600,
+            },
+        ));
+        let cleared = agg.advance(Nanos::from_millis(300));
+        assert_eq!(cleared, vec![0]);
+        assert!(!agg.incidents()[0].is_open());
+        // Reopen within the debounce window of the clear: revive, no page.
+        let out = agg.ingest(rec(
+            600,
+            Severity::Warning,
+            1,
+            AlarmCause::HighLoss {
+                north: 1,
+                south: 2,
+                loss_mdb: 2700,
+            },
+        ));
+        assert!(matches!(out, IngestOutcome::Coalesced { .. }));
+        assert!(agg.incidents()[0].is_open(), "flap revived the incident");
+        assert_eq!(agg.pages(), 1);
+        // Far outside the window: a genuinely new incident.
+        agg.advance(Nanos::from_millis(800));
+        let out = agg.ingest(rec(
+            5000,
+            Severity::Warning,
+            1,
+            AlarmCause::HighLoss {
+                north: 1,
+                south: 2,
+                loss_mdb: 2500,
+            },
+        ));
+        assert!(matches!(out, IngestOutcome::Paged { .. }));
+        assert_eq!(agg.pages(), 2);
+    }
+
+    #[test]
+    fn correlation_window_expires() {
+        let cfg = AggregatorConfig::default();
+        let window_ms = cfg.correlation_window.0 / 1_000_000;
+        let clear_ms = cfg.clear_after.0 / 1_000_000;
+        let mut agg = AlarmAggregator::with_config(cfg);
+        agg.ingest(rec(
+            0,
+            Severity::Warning,
+            3,
+            AlarmCause::FruFailed { slot: 1 },
+        ));
+        // A symptom long after the root went quiet — and after the root
+        // cleared — is its own incident again.
+        let late = clear_ms + window_ms + 1000;
+        agg.advance(Nanos::from_millis(late - 1));
+        let out = agg.ingest(rec(
+            late,
+            Severity::Warning,
+            3,
+            AlarmCause::AlignmentTimeout { north: 2 },
+        ));
+        assert!(matches!(out, IngestOutcome::Paged { .. }));
+    }
+}

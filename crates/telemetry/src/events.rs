@@ -1,0 +1,261 @@
+//! The structured event bus.
+//!
+//! Events are the narrative complement to metrics: a metric says "commit
+//! settle time p99 is 41 ms", an event says "commit #3 moved 12 circuits
+//! on switch 5 at t=1.2 s". The bus keeps a bounded ring of recent events
+//! (oldest dropped first, drops counted — never silent) and fans every
+//! published event out to typed subscriber hooks before retention, so a
+//! subscriber sees the full stream even when the ring is small.
+
+use crate::severity::Severity;
+use lightwave_units::Nanos;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// One switch applied a reconfiguration delta.
+    Reconfig {
+        /// Switch id.
+        switch: u32,
+        /// Circuits newly established.
+        added: u32,
+        /// Circuits torn down.
+        removed: u32,
+        /// Circuits left carrying light throughout.
+        untouched: u32,
+        /// Time until every new circuit is aligned.
+        duration: Nanos,
+    },
+    /// The fabric controller committed a transaction.
+    Commit {
+        /// Switches touched.
+        switches: u32,
+        /// Circuits added fabric-wide.
+        added: u32,
+        /// Circuits removed fabric-wide.
+        removed: u32,
+        /// Circuits untouched fabric-wide (the isolation audit).
+        untouched: u32,
+        /// Time until traffic-ready (settle + transceiver re-acquisition).
+        settle: Nanos,
+    },
+    /// The alarm aggregator opened a new incident (a page).
+    IncidentOpened {
+        /// Incident id.
+        incident: u64,
+        /// Severity at open.
+        severity: Severity,
+    },
+    /// An open incident escalated.
+    IncidentEscalated {
+        /// Incident id.
+        incident: u64,
+        /// New severity.
+        to: Severity,
+    },
+    /// An incident went quiet and cleared.
+    IncidentCleared {
+        /// Incident id.
+        incident: u64,
+        /// Alarms absorbed by blast-radius correlation.
+        correlated: u64,
+    },
+    /// An SLO object burned through its error budget.
+    SloViolated {
+        /// The tracked object (e.g. `ocs-3`).
+        object: String,
+        /// Availability so far, in parts per million.
+        availability_ppm: u64,
+    },
+    /// A collective ran materially slower than its healthy baseline.
+    StragglerDetected {
+        /// Torus dimension whose phase slowed.
+        dim: u8,
+        /// Phase slowdown in percent over baseline.
+        slowdown_pct: u32,
+    },
+    /// A marginal link renegotiated below its top lane rate (§3.3.1).
+    RateFallback {
+        /// Port (census index) of the link.
+        port: u32,
+        /// Negotiated lane rate, Gb/s (0 = link dead).
+        to_gbps: u32,
+    },
+    /// Free-form operator note (maintenance windows etc.).
+    Note {
+        /// The note text.
+        text: String,
+    },
+}
+
+/// A timestamped, attributed event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Simulation time.
+    pub at: Nanos,
+    /// Emitting subsystem (e.g. `fabric`, `ocs-3`, `scheduler`).
+    pub source: String,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+/// A typed hook invoked synchronously for every published event.
+pub trait EventSubscriber {
+    /// Called for each event, before ring retention.
+    fn on_event(&mut self, event: &Event);
+}
+
+/// Bounded-retention event bus.
+pub struct EventBus {
+    retain: usize,
+    ring: VecDeque<Event>,
+    subscribers: Vec<Box<dyn EventSubscriber>>,
+    published: u64,
+    dropped: u64,
+}
+
+impl std::fmt::Debug for EventBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventBus")
+            .field("retain", &self.retain)
+            .field("retained", &self.ring.len())
+            .field("published", &self.published)
+            .field("dropped", &self.dropped)
+            .field("subscribers", &self.subscribers.len())
+            .finish()
+    }
+}
+
+impl Default for EventBus {
+    fn default() -> EventBus {
+        EventBus::with_retention(1024)
+    }
+}
+
+impl EventBus {
+    /// A bus retaining the most recent `retain` events (≥ 1).
+    pub fn with_retention(retain: usize) -> EventBus {
+        assert!(retain > 0, "retention must be positive");
+        EventBus {
+            retain,
+            ring: VecDeque::with_capacity(retain.min(4096)),
+            subscribers: Vec::new(),
+            published: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Registers a subscriber hook. Hooks run in registration order.
+    pub fn subscribe(&mut self, sub: Box<dyn EventSubscriber>) {
+        self.subscribers.push(sub);
+    }
+
+    /// Publishes an event: subscribers first, then ring retention.
+    pub fn publish(&mut self, event: Event) {
+        for sub in &mut self.subscribers {
+            sub.on_event(&event);
+        }
+        if self.ring.len() == self.retain {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(event);
+        self.published += 1;
+    }
+
+    /// Convenience: build and publish.
+    pub fn emit(&mut self, at: Nanos, source: &str, kind: EventKind) {
+        self.publish(Event {
+            at,
+            source: source.to_string(),
+            kind,
+        });
+    }
+
+    /// Retained events, oldest first.
+    pub fn recent(&self) -> impl Iterator<Item = &Event> {
+        self.ring.iter()
+    }
+
+    /// Total events ever published.
+    pub fn published(&self) -> u64 {
+        self.published
+    }
+
+    /// Events evicted from retention (still seen by subscribers).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    struct CritCounter {
+        pages: Rc<Cell<u32>>,
+    }
+
+    impl EventSubscriber for CritCounter {
+        fn on_event(&mut self, event: &Event) {
+            if matches!(
+                event.kind,
+                EventKind::IncidentOpened {
+                    severity: Severity::Critical,
+                    ..
+                }
+            ) {
+                self.pages.set(self.pages.get() + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_bounds_retention_and_counts_drops() {
+        let mut bus = EventBus::with_retention(3);
+        for i in 0..5u64 {
+            bus.emit(
+                Nanos(i),
+                "test",
+                EventKind::Note {
+                    text: i.to_string(),
+                },
+            );
+        }
+        assert_eq!(bus.recent().count(), 3);
+        assert_eq!(bus.published(), 5);
+        assert_eq!(bus.dropped(), 2);
+        let first = bus.recent().next().unwrap();
+        assert_eq!(first.at, Nanos(2), "oldest events evicted first");
+    }
+
+    #[test]
+    fn subscribers_see_everything_despite_small_ring() {
+        // A paging hook must not miss incidents just because the ring is
+        // tiny: subscribers run before retention.
+        let pages = Rc::new(Cell::new(0));
+        let mut bus = EventBus::with_retention(1);
+        bus.subscribe(Box::new(CritCounter {
+            pages: Rc::clone(&pages),
+        }));
+        for i in 0..4u64 {
+            bus.emit(
+                Nanos(i),
+                "agg",
+                EventKind::IncidentOpened {
+                    incident: i,
+                    severity: Severity::Critical,
+                },
+            );
+        }
+        assert_eq!(bus.recent().count(), 1);
+        assert_eq!(bus.published(), 4);
+        assert_eq!(bus.dropped(), 3);
+        assert_eq!(pages.get(), 4, "hook saw every event, evicted or not");
+    }
+}

@@ -1,0 +1,198 @@
+//! Exporters: a human-readable text dashboard and machine-readable
+//! JSON-lines.
+//!
+//! Both walk the underlying stores in deterministic order (name-sorted
+//! instruments, id-ordered incidents, publication-ordered events) and
+//! stamp nothing but simulation time, so a seeded simulation exports
+//! byte-identical output on every run — asserted by an integration test
+//! at the workspace root.
+
+use crate::alarms::Incident;
+use crate::events::Event;
+use crate::fleet::FleetTelemetry;
+use crate::metrics::{MetricKey, MetricSample, MetricValue};
+use crate::slo::SloReport;
+use lightwave_units::Nanos;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One line of the JSONL export.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JsonlRecord {
+    /// Header line: what this export contains.
+    Meta {
+        /// Simulation time of the export.
+        exported_at: Nanos,
+        /// Instrument count.
+        metrics: u64,
+        /// Retained event count.
+        events: u64,
+        /// Incident count (open + cleared).
+        incidents: u64,
+    },
+    /// One instrument sample.
+    Metric {
+        /// Instrument identity.
+        key: MetricKey,
+        /// Last update stamp.
+        at: Nanos,
+        /// Current value.
+        sample: MetricSample,
+    },
+    /// One retained event.
+    Event {
+        /// The event.
+        event: Event,
+    },
+    /// One incident.
+    Incident {
+        /// The incident.
+        incident: Incident,
+    },
+    /// The SLO assessment.
+    Slo {
+        /// The report.
+        report: SloReport,
+    },
+}
+
+/// Serializes the full telemetry state as JSON-lines, one record per
+/// line: a `Meta` header, then metrics, events, incidents, and the SLO
+/// report.
+pub fn to_jsonl(t: &FleetTelemetry, now: Nanos) -> String {
+    let mut out = String::new();
+    let mut push = |rec: &JsonlRecord| {
+        out.push_str(&serde_json::to_string(rec).expect("telemetry types serialize"));
+        out.push('\n');
+    };
+    push(&JsonlRecord::Meta {
+        exported_at: now,
+        metrics: t.metrics.len() as u64,
+        events: t.events.recent().count() as u64,
+        incidents: t.alarms.incidents().len() as u64,
+    });
+    for (key, sample, at) in t.metrics.samples() {
+        push(&JsonlRecord::Metric { key, at, sample });
+    }
+    for event in t.events.recent() {
+        push(&JsonlRecord::Event {
+            event: event.clone(),
+        });
+    }
+    for incident in t.alarms.incidents() {
+        push(&JsonlRecord::Incident {
+            incident: incident.clone(),
+        });
+    }
+    push(&JsonlRecord::Slo {
+        report: t.slo.report(now),
+    });
+    out
+}
+
+fn fmt_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 0.01 && v.abs() < 1e6 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+/// Renders the fleet dashboard as plain text: metrics, open incidents,
+/// SLO standing, and the recent-event tail.
+pub fn text_dashboard(t: &FleetTelemetry, now: Nanos) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "── fleet telemetry @ {now} ──");
+
+    let _ = writeln!(s, "\nMETRICS ({} instruments)", t.metrics.len());
+    for (key, value, at) in t.metrics.iter() {
+        match value {
+            MetricValue::Counter(c) => {
+                let _ = writeln!(s, "  {key:<52} {c:>12}  (at {at})");
+            }
+            MetricValue::Gauge(g) => {
+                let _ = writeln!(s, "  {key:<52} {:>12}  (at {at})", fmt_value(*g));
+            }
+            MetricValue::Histogram(h) => {
+                let (p50, p99) = (
+                    h.quantile(0.5).map_or("-".into(), fmt_value),
+                    h.quantile(0.99).map_or("-".into(), fmt_value),
+                );
+                let _ = writeln!(
+                    s,
+                    "  {key:<52} n={} p50={} p99={} max={}",
+                    h.count(),
+                    p50,
+                    p99,
+                    h.max().map_or("-".into(), fmt_value),
+                );
+            }
+        }
+    }
+
+    let open: Vec<&Incident> = t.alarms.open_incidents().collect();
+    let _ = writeln!(
+        s,
+        "\nINCIDENTS ({} open / {} total; {} pages, {} alarms suppressed)",
+        open.len(),
+        t.alarms.incidents().len(),
+        t.alarms.pages(),
+        t.alarms.suppressed(),
+    );
+    for inc in t.alarms.incidents() {
+        let state = if inc.is_open() { "OPEN " } else { "clear" };
+        let _ = writeln!(
+            s,
+            "  #{:<3} [{}] {} ocs-{} {:?} ×{} (+{} correlated) since {}",
+            inc.id,
+            state,
+            inc.severity.label(),
+            inc.switch,
+            inc.class,
+            inc.occurrences,
+            inc.correlated,
+            inc.opened_at,
+        );
+    }
+
+    let slo = t.slo.report(now);
+    let _ = writeln!(
+        s,
+        "\nSLO (target {:.4}%, fleet {:.4}%, {} violating)",
+        slo.target * 100.0,
+        slo.fleet_availability * 100.0,
+        slo.violating,
+    );
+    for o in &slo.objects {
+        let flag = if o.in_violation { " VIOLATION" } else { "" };
+        let _ = writeln!(
+            s,
+            "  {:<20} avail {:.4}% down {} budget {:>5.1}% left{flag}",
+            o.object,
+            o.availability * 100.0,
+            o.downtime,
+            o.budget_remaining * 100.0,
+        );
+    }
+
+    let tail: Vec<&Event> = t.events.recent().collect();
+    let show = tail.len().min(12);
+    let _ = writeln!(
+        s,
+        "\nEVENTS (last {show} of {} published, {} evicted)",
+        t.events.published(),
+        t.events.dropped(),
+    );
+    for e in &tail[tail.len() - show..] {
+        let _ = writeln!(
+            s,
+            "  {:>12}  {:<10} {:?}",
+            e.at.to_string(),
+            e.source,
+            e.kind
+        );
+    }
+    s
+}

@@ -1,0 +1,89 @@
+//! # lightwave-telemetry
+//!
+//! Fleet-wide observability for the lightwave-fabric workspace: the
+//! §3.2.2 "telemetry and anomaly reporting" layer, built as a library the
+//! device and control-plane crates record into.
+//!
+//! The paper's operational argument is that at-scale OCS deployment was
+//! won or lost on observability: switches have a large *blast radius*
+//! (one chassis fault disturbs every circuit through it), the optical
+//! link budget is "a precious commodity" eroded in tenths of a dB, and
+//! the fleet target is ≥ 99.98% availability per OCS (§4.1.1). This
+//! crate provides the corresponding machinery:
+//!
+//! - [`MetricsRegistry`] — labeled counters, gauges, and log-scale
+//!   histograms, stamped with **simulation time** ([`Nanos`]) passed by
+//!   callers. No wall clock exists anywhere in this crate, so seeded runs
+//!   export byte-identical state (DESIGN.md §6 determinism rule).
+//! - [`EventBus`] — structured events with bounded ring retention and
+//!   typed subscriber hooks.
+//! - [`AlarmAggregator`] — fleet alarm ingestion with debounce,
+//!   hysteresis, severity escalation, and blast-radius correlation: one
+//!   FRU failure pages once, not 48 times.
+//! - [`SloTracker`] — per-object availability and error budget against
+//!   the paper's 99.98% OCS target.
+//! - [`export`] — a text dashboard and a JSON-lines serializer.
+//!
+//! [`FleetTelemetry`] bundles the four stores for the common case. The
+//! [`Severity`] scale defined here is re-exported by `lightwave-ocs` as
+//! `ocs::telemetry::Severity`, so per-switch alarms and fleet incidents
+//! share one ordering.
+//!
+//! In the workspace DAG this crate sits directly above `lightwave-units`;
+//! every crate that emits telemetry (`ocs`, `transceiver`, `fabric`,
+//! `scheduler`, `superpod`) depends on it, each through its own
+//! `instrument` module.
+//!
+//! ```
+//! use lightwave_telemetry::{FleetTelemetry, AlarmRecord, AlarmCause, Severity};
+//! use lightwave_units::Nanos;
+//!
+//! let mut t = FleetTelemetry::new();
+//! let settle = t.metrics.histogram("commit_settle_ms", &[]);
+//! t.metrics.observe(settle, Nanos::from_millis(12), 11.7);
+//!
+//! // A FRU fails; its 48 disturbed circuits alarm. One page.
+//! t.ingest_alarm(AlarmRecord {
+//!     at: Nanos::from_millis(20),
+//!     severity: Severity::Warning,
+//!     switch: 3,
+//!     cause: AlarmCause::FruFailed { slot: 6 },
+//! });
+//! for port in 0..48u16 {
+//!     t.ingest_alarm(AlarmRecord {
+//!         at: Nanos::from_millis(21 + port as u64),
+//!         severity: Severity::Warning,
+//!         switch: 3,
+//!         cause: AlarmCause::AlignmentTimeout { north: port },
+//!     });
+//! }
+//! assert_eq!(t.alarms.pages(), 1);
+//! assert_eq!(t.alarms.suppressed(), 48);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alarms;
+pub mod events;
+pub mod export;
+pub mod fleet;
+pub mod histogram;
+pub mod metrics;
+pub mod severity;
+pub mod slo;
+
+pub use alarms::{
+    AggregatorConfig, AlarmAggregator, AlarmCause, AlarmRecord, CauseClass, Incident, IngestOutcome,
+};
+pub use events::{Event, EventBus, EventKind, EventSubscriber};
+pub use export::JsonlRecord;
+pub use fleet::FleetTelemetry;
+pub use histogram::{HistogramSnapshot, LogHistogram};
+pub use metrics::{CounterId, GaugeId, HistogramId, MetricKey, MetricSample, MetricsRegistry};
+pub use severity::Severity;
+pub use slo::{ObjectSlo, SloReport, SloTracker, OCS_AVAILABILITY_TARGET};
+
+// Re-exported for the doc example above.
+#[doc(hidden)]
+pub use lightwave_units::Nanos;

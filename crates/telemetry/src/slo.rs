@@ -1,0 +1,262 @@
+//! Availability SLO tracking with error budgets.
+//!
+//! §4.1.1 reports the Palomar OCS fleet at ≥ 99.98% availability; Fig. 15
+//! builds the fabric-availability story on per-OCS availability. The
+//! tracker consumes up/down state transitions (in simulation time) per
+//! tracked object and reports, per object and fleet-wide: achieved
+//! availability, accumulated downtime, and the remaining error budget
+//! against the target — the quantity an operator actually plans
+//! maintenance around.
+
+use lightwave_units::Nanos;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The paper's OCS availability target (§4.1.1).
+pub const OCS_AVAILABILITY_TARGET: f64 = 0.9998;
+
+#[derive(Debug, Clone)]
+struct ObjectState {
+    first_seen: Nanos,
+    up: bool,
+    since: Nanos,
+    downtime: Nanos,
+    transitions: u64,
+}
+
+/// Per-object SLO assessment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectSlo {
+    /// The tracked object (e.g. `ocs-3`).
+    pub object: String,
+    /// Achieved availability over the observed window, in `[0, 1]`.
+    pub availability: f64,
+    /// Accumulated downtime.
+    pub downtime: Nanos,
+    /// Downtime the target allows over the observed window.
+    pub error_budget: Nanos,
+    /// Fraction of the error budget still unspent, in `[0, 1]`.
+    pub budget_remaining: f64,
+    /// True when achieved availability is below target.
+    pub in_violation: bool,
+    /// Up/down state transitions observed.
+    pub transitions: u64,
+}
+
+/// Fleet SLO assessment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloReport {
+    /// The availability target, e.g. `0.9998`.
+    pub target: f64,
+    /// Per-object assessments, object-name-sorted.
+    pub objects: Vec<ObjectSlo>,
+    /// Observation-time-weighted fleet availability.
+    pub fleet_availability: f64,
+    /// Objects currently in violation.
+    pub violating: usize,
+}
+
+/// Tracks availability against a target for a set of named objects.
+#[derive(Debug, Clone)]
+pub struct SloTracker {
+    target: f64,
+    objects: BTreeMap<String, ObjectState>,
+}
+
+impl Default for SloTracker {
+    fn default() -> SloTracker {
+        SloTracker::ocs_target()
+    }
+}
+
+impl SloTracker {
+    /// A tracker with an explicit availability target in `(0, 1)`.
+    pub fn new(target: f64) -> SloTracker {
+        assert!(
+            target > 0.0 && target < 1.0,
+            "availability target must be in (0, 1), got {target}"
+        );
+        SloTracker {
+            target,
+            objects: BTreeMap::new(),
+        }
+    }
+
+    /// A tracker against the paper's 99.98% OCS target (§4.1.1).
+    pub fn ocs_target() -> SloTracker {
+        SloTracker::new(OCS_AVAILABILITY_TARGET)
+    }
+
+    /// The availability target.
+    pub fn target(&self) -> f64 {
+        self.target
+    }
+
+    /// Records that `object` is `up`/down as of simulation time `at`.
+    ///
+    /// The first observation of an object starts its observation window
+    /// (it is not assumed to have existed since t=0). Repeated
+    /// observations of the same state are idempotent.
+    pub fn observe(&mut self, at: Nanos, object: &str, up: bool) {
+        match self.objects.get_mut(object) {
+            None => {
+                self.objects.insert(
+                    object.to_string(),
+                    ObjectState {
+                        first_seen: at,
+                        up,
+                        since: at,
+                        downtime: Nanos(0),
+                        transitions: 0,
+                    },
+                );
+            }
+            Some(state) => {
+                if state.up == up {
+                    return;
+                }
+                if !state.up {
+                    state.downtime += at.saturating_sub(state.since);
+                }
+                state.up = up;
+                state.since = at;
+                state.transitions += 1;
+            }
+        }
+    }
+
+    /// Number of tracked objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when nothing is tracked yet.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Assesses every object as of simulation time `now`.
+    pub fn report(&self, now: Nanos) -> SloReport {
+        let mut objects = Vec::with_capacity(self.objects.len());
+        let mut observed_total = 0u128;
+        let mut up_total = 0u128;
+        for (name, state) in &self.objects {
+            let observed = now.saturating_sub(state.first_seen);
+            let mut downtime = state.downtime;
+            if !state.up {
+                downtime += now.saturating_sub(state.since);
+            }
+            let availability = if observed.0 == 0 {
+                1.0
+            } else {
+                1.0 - downtime.0 as f64 / observed.0 as f64
+            };
+            let error_budget = Nanos((observed.0 as f64 * (1.0 - self.target)) as u64);
+            let budget_remaining = if error_budget.0 == 0 {
+                if downtime.0 == 0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else {
+                ((error_budget.0 as f64 - downtime.0 as f64) / error_budget.0 as f64)
+                    .clamp(0.0, 1.0)
+            };
+            observed_total += observed.0 as u128;
+            up_total += (observed.0 - downtime.0.min(observed.0)) as u128;
+            objects.push(ObjectSlo {
+                object: name.clone(),
+                availability,
+                downtime,
+                error_budget,
+                budget_remaining,
+                in_violation: availability < self.target,
+                transitions: state.transitions,
+            });
+        }
+        let fleet_availability = if observed_total == 0 {
+            1.0
+        } else {
+            up_total as f64 / observed_total as f64
+        };
+        SloReport {
+            target: self.target,
+            violating: objects.iter().filter(|o| o.in_violation).count(),
+            objects,
+            fleet_availability,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(secs: f64) -> Nanos {
+        Nanos::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn downtime_accrues_only_while_down() {
+        let mut t = SloTracker::new(0.99);
+        t.observe(s(0.0), "ocs-0", true);
+        t.observe(s(100.0), "ocs-0", false);
+        t.observe(s(101.0), "ocs-0", true);
+        let r = t.report(s(200.0));
+        let o = &r.objects[0];
+        assert_eq!(o.downtime, s(1.0));
+        assert!((o.availability - 0.995).abs() < 1e-9);
+        assert!(!o.in_violation);
+        assert_eq!(o.transitions, 2);
+    }
+
+    #[test]
+    fn ongoing_outage_counts_up_to_now() {
+        let mut t = SloTracker::ocs_target();
+        t.observe(s(0.0), "ocs-1", true);
+        t.observe(s(10.0), "ocs-1", false);
+        let r = t.report(s(20.0));
+        assert_eq!(r.objects[0].downtime, s(10.0));
+        assert!(r.objects[0].in_violation, "50% uptime misses 99.98%");
+        assert_eq!(r.violating, 1);
+        assert_eq!(r.objects[0].budget_remaining, 0.0);
+    }
+
+    #[test]
+    fn error_budget_against_paper_target() {
+        // 99.98% over a simulated day allows 0.0002 × 86400 s ≈ 17.3 s.
+        let mut t = SloTracker::ocs_target();
+        t.observe(s(0.0), "ocs-2", true);
+        t.observe(s(1000.0), "ocs-2", false);
+        t.observe(s(1008.0), "ocs-2", true); // 8 s outage
+        let r = t.report(s(86_400.0));
+        let o = &r.objects[0];
+        assert!(!o.in_violation, "8 s of downtime fits the daily budget");
+        let budget_s = o.error_budget.as_secs_f64();
+        assert!((budget_s - 17.28).abs() < 0.01, "budget {budget_s} s");
+        assert!(o.budget_remaining > 0.5 && o.budget_remaining < 0.6);
+    }
+
+    #[test]
+    fn late_joining_objects_observe_from_first_seen() {
+        let mut t = SloTracker::new(0.999);
+        t.observe(s(0.0), "a", true);
+        t.observe(s(500.0), "b", true); // turned up mid-simulation
+        let r = t.report(s(1000.0));
+        assert_eq!(r.objects.len(), 2);
+        assert!((r.fleet_availability - 1.0).abs() < 1e-12);
+        let b = r.objects.iter().find(|o| o.object == "b").unwrap();
+        assert_eq!(b.error_budget, Nanos((500e9 * 0.001) as u64));
+    }
+
+    #[test]
+    fn idempotent_same_state_observations() {
+        let mut t = SloTracker::new(0.99);
+        t.observe(s(0.0), "a", false);
+        t.observe(s(5.0), "a", false);
+        t.observe(s(10.0), "a", true);
+        let r = t.report(s(20.0));
+        assert_eq!(r.objects[0].downtime, s(10.0));
+        assert_eq!(r.objects[0].transitions, 1);
+    }
+}

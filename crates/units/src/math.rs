@@ -70,6 +70,7 @@ pub fn q_inverse(p: f64) -> f64 {
 
 /// Peter Acklam's rational approximation to the standard normal quantile
 /// function Φ⁻¹(p); relative error < 1.15e-9 before refinement.
+#[allow(clippy::excessive_precision)] // coefficients kept verbatim from Acklam
 fn norm_quantile(p: f64) -> f64 {
     const A: [f64; 6] = [
         -3.969683028665376e+01,
@@ -125,6 +126,7 @@ pub fn ln_binomial(n: u64, k: u64) -> f64 {
 }
 
 /// Lanczos approximation of `ln Γ(x)` for `x > 0` (~1e-13 accuracy).
+#[allow(clippy::excessive_precision)] // g=7, n=9 coefficients kept verbatim
 pub fn ln_gamma(x: f64) -> f64 {
     assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
     const G: f64 = 7.0;

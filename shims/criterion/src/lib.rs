@@ -1,0 +1,236 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock micro-benchmark harness exposing the criterion API
+//! subset this workspace's benches use: `Criterion::{bench_function,
+//! benchmark_group}`, `Bencher::{iter, iter_batched}`, `Throughput`,
+//! `BatchSize`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark warms up briefly, then runs a fixed
+//! number of timed batches and reports the median per-iteration time (plus
+//! derived throughput when declared). `cargo bench -- --test` runs each
+//! routine once, exactly like criterion's test mode, which is what CI's
+//! bench-smoke step relies on.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the canonical optimization barrier; criterion's own
+/// `black_box` has been this alias since Rust stabilized it.
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(50);
+const BATCHES: usize = 15;
+const BATCH_TARGET: Duration = Duration::from_millis(20);
+
+/// How batched-setup benchmarks trade setup cost against batch length.
+/// The shim sizes batches by time, so variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Inputs are cheap; large batches.
+    SmallInput,
+    /// Inputs are expensive; small batches.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+    /// The routine processes this many items per iteration.
+    Elements(u64),
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks one routine under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), None, self.test_mode, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            test_mode: self.test_mode,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for criterion compatibility; the shim sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks one routine under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.throughput, self.test_mode, f);
+        self
+    }
+
+    /// Ends the group (numbers are printed as benches run).
+    pub fn finish(self) {}
+}
+
+/// The per-benchmark measurement driver handed to routines.
+pub struct Bencher {
+    test_mode: bool,
+    /// (total duration, iterations) per timed batch.
+    batches: Vec<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.batches.push((Duration::from_nanos(1), 1));
+            return;
+        }
+        // Calibrate iterations per batch against the batch time target.
+        let mut per_batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= WARMUP.min(BATCH_TARGET) || per_batch >= 1 << 24 {
+                let scale = BATCH_TARGET.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
+                per_batch = ((per_batch as f64 * scale).clamp(1.0, 1e8)) as u64;
+                break;
+            }
+            per_batch *= 4;
+        }
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            self.batches.push((start.elapsed(), per_batch));
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`, excluding setup time
+    /// (approximately: setup runs outside the timed region).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            self.batches.push((Duration::from_nanos(1), 1));
+            return;
+        }
+        let per_batch = 64u64;
+        for _ in 0..BATCHES {
+            let inputs: Vec<I> = (0..per_batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.batches.push((start.elapsed(), per_batch));
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        test_mode,
+        batches: Vec::new(),
+    };
+    f(&mut bencher);
+    if test_mode {
+        println!("test {id} ... ok");
+        return;
+    }
+    let mut per_iter: Vec<f64> = bencher
+        .batches
+        .iter()
+        .map(|(d, n)| d.as_secs_f64() / (*n).max(1) as f64)
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    let median = per_iter.get(per_iter.len() / 2).copied().unwrap_or(0.0);
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) if median > 0.0 => {
+            format!("   {:>10.1} MiB/s", b as f64 / median / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(e)) if median > 0.0 => {
+            format!("   {:>10.1} Melem/s", e as f64 / median / 1e6)
+        }
+        _ => String::new(),
+    };
+    println!("{id:<48} {:>12} ns/iter{rate}", format_ns(median * 1e9));
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 100.0 {
+        format!("{ns:.0}")
+    } else {
+        format!("{ns:.2}")
+    }
+}
+
+/// Declares a group function running each target against one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,105 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::Strategy;
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+/// A collection size specification (half-open or inclusive range, or exact).
+///
+/// Taking `impl Into<SizeRange>` (rather than a generic strategy) is what
+/// lets bare `0..16` literals infer `usize`, exactly as with real proptest.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    /// Inclusive upper bound.
+    hi: usize,
+}
+
+impl SizeRange {
+    fn sample(self, rng: &mut StdRng) -> usize {
+        rng.random_range(self.lo..=self.hi)
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty collection size range {r:?}");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+/// A `Vec` strategy: a size drawn from the size range, then that many
+/// elements.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.element.sample_value(rng)).collect()
+    }
+}
+
+/// Vectors of `element` values with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// A `BTreeSet` strategy; duplicate draws shrink the set below the drawn
+/// size, matching real proptest's best-effort behavior on small domains.
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn sample_value(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.element.sample_value(rng)).collect()
+    }
+}
+
+/// Ordered sets of `element` values with up to `size`-drawn elements.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}

@@ -1,0 +1,365 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of proptest this workspace's property tests use:
+//! the `proptest!` macro (with optional `#![proptest_config(...)]`), range
+//! and tuple strategies, `Just`, `any::<T>()`, `prop_oneof!`, `prop_map`,
+//! `collection::{vec, btree_set}`, and the `prop_assert*` / `prop_assume!`
+//! macros.
+//!
+//! Differences from real proptest, deliberate for an offline shim:
+//! - **No shrinking.** A failing case reports its inputs (via the values'
+//!   `Debug` where the test message includes them) but is not minimized.
+//! - **Deterministic case seeds.** Case `i` of every property runs with an
+//!   RNG seeded from `i`, so failures reproduce exactly across runs and
+//!   machines with no persistence file.
+//! - Rejection via `prop_assume!` skips the case rather than resampling.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{RngCore, RngExt, SeedableRng};
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+pub mod sample;
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Per-`proptest!`-block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config with the given case count.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed (or skipped) test case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property was falsified.
+    Fail(String),
+    /// The case did not meet a `prop_assume!` precondition.
+    Reject,
+}
+
+impl TestCaseError {
+    /// A falsification with a message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => f.write_str(m),
+            TestCaseError::Reject => f.write_str("case rejected by prop_assume!"),
+        }
+    }
+}
+
+/// Builds the deterministic RNG for one case of one property.
+pub fn case_rng(case: u32) -> StdRng {
+    // Spread the low case indices across the seed space.
+    StdRng::seed_from_u64((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xC0FF_EE11)
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { strategy: self, f }
+    }
+}
+
+/// The output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample_value(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.strategy.sample_value(rng))
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample_value(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// A type with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.random()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.random()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64);
+
+/// The strategy returned by [`any`].
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn sample_value(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for any [`Arbitrary`] type.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Object-safe strategy view, used by [`Union`] / `prop_oneof!`.
+pub trait DynStrategy<V> {
+    /// Draws one value through the trait object.
+    fn sample_dyn(&self, rng: &mut StdRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn sample_dyn(&self, rng: &mut StdRng) -> S::Value {
+        self.sample_value(rng)
+    }
+}
+
+/// A uniform choice among heterogeneous strategies with one value type.
+pub struct Union<V> {
+    arms: Vec<Box<dyn DynStrategy<V>>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union; `arms` must be non-empty.
+    pub fn new(arms: Vec<Box<dyn DynStrategy<V>>>) -> Union<V> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn sample_value(&self, rng: &mut StdRng) -> V {
+        let idx = (rng.next_u64() % self.arms.len() as u64) as usize;
+        self.arms[idx].sample_dyn(rng)
+    }
+}
+
+/// Runs one property over `config.cases` deterministic cases, panicking on
+/// the first falsified case. Called by the expansion of [`proptest!`].
+pub fn run_property<F>(name: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    for i in 0..config.cases {
+        let mut rng = case_rng(i);
+        match case(&mut rng) {
+            Ok(()) | Err(TestCaseError::Reject) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property `{name}` falsified at deterministic case {i}: {msg}");
+            }
+        }
+    }
+}
+
+/// Declares property tests over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal recursion for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            $crate::run_property(stringify!($name), &__config, |__rng| {
+                $(let $arg = $crate::Strategy::sample_value(&($strategy), __rng);)+
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property, falsifying the case on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+), __l, __r
+        );
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), __l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l != *__r, "{}\n  both: {:?}", format!($($fmt)+), __l);
+    }};
+}
+
+/// Skips the case when a precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(::std::boxed::Box::new($arm) as ::std::boxed::Box<dyn $crate::DynStrategy<_>>),+])
+    };
+}

@@ -1,0 +1,25 @@
+//! Sampling strategies over fixed candidate sets.
+
+use crate::Strategy;
+use rand::rngs::StdRng;
+use rand::RngCore;
+
+/// A uniform choice among a fixed list of values.
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample_value(&self, rng: &mut StdRng) -> T {
+        let idx = (rng.next_u64() % self.options.len() as u64) as usize;
+        self.options[idx].clone()
+    }
+}
+
+/// Uniformly selects one of `options`; must be non-empty.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select() needs at least one option");
+    Select { options }
+}

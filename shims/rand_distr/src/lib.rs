@@ -1,0 +1,122 @@
+//! Offline stand-in for `rand_distr`: the Normal, LogNormal and Exp
+//! distributions this workspace samples, over the `rand` shim.
+//!
+//! Normal sampling uses Box–Muller (two uniform draws per sample, one
+//! cached), which is deterministic per generator stream — the property the
+//! workspace actually depends on. Tail quality is more than sufficient for
+//! the Monte-Carlo models here.
+
+#![forbid(unsafe_code)]
+
+use rand::RngCore;
+use std::f64::consts::TAU;
+use std::fmt;
+
+/// A parameter error from a distribution constructor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// A scale/shape parameter was not finite and positive.
+    BadParam,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid distribution parameter")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A distribution sampleable with any generator.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The normal (Gaussian) distribution N(mean, std_dev²).
+///
+/// Generic like rand_distr's (`Normal<f64>` in signatures works), but only
+/// the `f64` instantiation is implemented.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F = f64> {
+    mean: F,
+    std_dev: F,
+}
+
+impl Normal<f64> {
+    /// Creates a normal distribution.
+    ///
+    /// Matches rand_distr: `std_dev` must be finite and non-negative
+    /// (zero yields a point mass at `mean`).
+    pub fn new(mean: f64, std_dev: f64) -> Result<Normal<f64>, Error> {
+        if !(mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0) {
+            return Err(Error::BadParam);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// One standard-normal draw via Box–Muller (cosine branch only, so each
+/// sample consumes exactly two u64s — simple and stream-stable).
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] to keep ln() finite.
+    let u1 = 1.0 - unit(rng.next_u64());
+    let u2 = unit(rng.next_u64());
+    (-2.0 * u1.ln()).sqrt() * (TAU * u2).cos()
+}
+
+fn unit(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    inner: Normal<f64>,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution with the given log-space parameters.
+    pub fn new(mu: f64, sigma: f64) -> Result<LogNormal, Error> {
+        Ok(LogNormal {
+            inner: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.inner.sample(rng).exp()
+    }
+}
+
+/// The exponential distribution with rate `lambda`.
+///
+/// Generic like rand_distr's; only the `f64` instantiation is implemented.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp<F = f64> {
+    lambda: F,
+}
+
+impl Exp<f64> {
+    /// Creates an exponential distribution with rate `lambda > 0`.
+    pub fn new(lambda: f64) -> Result<Exp<f64>, Error> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(Error::BadParam);
+        }
+        Ok(Exp { lambda })
+    }
+}
+
+impl Distribution<f64> for Exp<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = 1.0 - unit(rng.next_u64()); // (0, 1]
+        -u.ln() / self.lambda
+    }
+}

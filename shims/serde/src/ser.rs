@@ -1,0 +1,33 @@
+//! Serialization half of the shim: [`Serialize`] and [`Serializer`].
+
+use crate::Content;
+
+/// A value that can lower itself into a [`Content`] tree.
+///
+/// Unlike real serde, the required method is [`Serialize::to_content`];
+/// [`Serialize::serialize`] keeps serde's signature and is what manual
+/// impls and `#[serde(with = "...")]` modules call.
+pub trait Serialize {
+    /// Lowers `self` to the shim's data model.
+    fn to_content(&self) -> Content;
+
+    /// Serde-compatible entry point: hands the lowered content to `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(self.to_content())
+    }
+}
+
+/// A sink for a lowered [`Content`] tree.
+///
+/// Real serde drives serializers with ~30 `serialize_*` callbacks; this shim
+/// collapses them into one, because every format in this workspace renders
+/// from the self-describing tree anyway.
+pub trait Serializer: Sized {
+    /// Successful output of the serializer.
+    type Ok;
+    /// Error produced by the serializer.
+    type Error;
+
+    /// Consumes the content tree, producing the serializer's output.
+    fn serialize_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+}

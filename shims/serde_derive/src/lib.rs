@@ -1,0 +1,550 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the content-tree `serde` shim's `Serialize` /
+//! `Deserialize` traits. Because the build container has no crates.io
+//! access, this macro parses the item with a small hand-rolled token walker
+//! instead of `syn`, and emits code by formatting strings instead of `quote`.
+//!
+//! Supported input shapes (everything this workspace derives on):
+//! - non-generic structs: named, tuple, and unit;
+//! - non-generic enums whose variants are unit, newtype, tuple, or struct;
+//! - the `#[serde(with = "module")]` field attribute.
+//!
+//! Anything else (generics, lifetimes, other serde attributes) produces a
+//! compile error naming the unsupported construct, so a future change that
+//! needs more of serde's surface fails loudly rather than silently
+//! mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim's `Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Serialize)
+}
+
+/// Derives the shim's `Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, which: Trait) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match which {
+        Trait::Serialize => gen_serialize(&item),
+        Trait::Deserialize => gen_deserialize(&item),
+    };
+    code.parse()
+        .unwrap_or_else(|e| compile_error(&format!("serde shim derive produced bad code: {e}")))
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsed item model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    /// `#[serde(with = "module")]` path, if present.
+    with: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+// ---------------------------------------------------------------------------
+// Token-walker parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Cursor {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consumes `# [ ... ]` attribute pairs, returning the bracket groups.
+    fn take_attrs(&mut self) -> Vec<TokenStream> {
+        let mut attrs = Vec::new();
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.next(); // '#'
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    attrs.push(g.stream());
+                }
+                _ => break,
+            }
+        }
+        attrs
+    }
+
+    /// Consumes a `pub` / `pub(...)` visibility prefix if present.
+    fn take_visibility(&mut self) {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, context: &str) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!(
+                "serde shim derive: expected ident {context}, got {other:?}"
+            )),
+        }
+    }
+
+    /// Skips tokens until a top-level comma (respecting `<...>` nesting),
+    /// consuming the comma. Groups are atomic so only angle depth matters.
+    fn skip_type_to_comma(&mut self) {
+        let mut angle_depth: i32 = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    self.next();
+                    return;
+                }
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.take_attrs();
+    c.take_visibility();
+    let kind = c.expect_ident("(struct/enum keyword)")?;
+    let name = c.expect_ident("(type name)")?;
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive: generic type `{name}` is not supported"
+            ));
+        }
+    }
+    let shape = match kind.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => return Err(format!("serde shim derive: bad struct body {other:?}")),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("serde shim derive: bad enum body {other:?}")),
+        },
+        other => {
+            return Err(format!(
+                "serde shim derive: expected struct or enum, got `{other}`"
+            ))
+        }
+    };
+    Ok(Item { name, shape })
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let attrs = c.take_attrs();
+        let with = extract_with(&attrs)?;
+        c.take_visibility();
+        let name = c.expect_ident("(field name)")?;
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("serde shim derive: expected `:`, got {other:?}")),
+        }
+        c.skip_type_to_comma();
+        fields.push(Field { name, with });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0;
+    while !c.at_end() {
+        c.take_attrs();
+        c.take_visibility();
+        if c.at_end() {
+            break;
+        }
+        count += 1;
+        c.skip_type_to_comma();
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        c.take_attrs();
+        let name = c.expect_ident("(variant name)")?;
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                c.next();
+                VariantShape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.next();
+                VariantShape::Tuple(n)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Consume the trailing comma (and reject discriminants loudly).
+        match c.next() {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!(
+                    "serde shim derive: explicit discriminant on variant `{name}` not supported"
+                ));
+            }
+            other => return Err(format!("serde shim derive: bad variant tail {other:?}")),
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+fn extract_with(attrs: &[TokenStream]) -> Result<Option<String>, String> {
+    for attr in attrs {
+        let mut c = Cursor::new(attr.clone());
+        match c.next() {
+            Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+            _ => continue, // doc comment or other attribute
+        }
+        let inner = match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+            _ => continue,
+        };
+        let mut ic = Cursor::new(inner);
+        let key = ic.expect_ident("(serde attr key)")?;
+        if key != "with" {
+            return Err(format!(
+                "serde shim derive: unsupported serde attribute `{key}` (only `with` is implemented)"
+            ));
+        }
+        match ic.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {}
+            other => return Err(format!("serde shim derive: bad with attr {other:?}")),
+        }
+        match ic.next() {
+            Some(TokenTree::Literal(l)) => {
+                let s = l.to_string();
+                let path = s.trim_matches('"').to_string();
+                return Ok(Some(path));
+            }
+            other => return Err(format!("serde shim derive: bad with path {other:?}")),
+        }
+    }
+    Ok(None)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (strings, parsed back into a TokenStream)
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries = fields
+                .iter()
+                .map(|f| named_field_ser(&f.name, &format!("self.{}", f.name), f.with.as_deref()))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Content::Map(vec![{entries}])")
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Content::Seq(vec![{items}])")
+        }
+        Shape::UnitStruct => "::serde::Content::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| variant_ser_arm(name, v))
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn named_field_ser(key: &str, access: &str, with: Option<&str>) -> String {
+    let value = match with {
+        Some(path) => {
+            format!("::serde::content_from_with(|__s| {path}::serialize(&{access}, __s))")
+        }
+        None => format!("::serde::Serialize::to_content(&{access})"),
+    };
+    format!("(::serde::Content::Str(String::from({key:?})), {value})")
+}
+
+fn variant_ser_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.shape {
+        VariantShape::Unit => {
+            format!("{enum_name}::{vname} => ::serde::Content::Str(String::from({vname:?})),")
+        }
+        VariantShape::Tuple(1) => format!(
+            "{enum_name}::{vname}(__f0) => ::serde::Content::Map(vec![(\
+                ::serde::Content::Str(String::from({vname:?})), \
+                ::serde::Serialize::to_content(__f0))]),"
+        ),
+        VariantShape::Tuple(n) => {
+            let binds = (0..*n)
+                .map(|i| format!("__f{i}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let items = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(__f{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{enum_name}::{vname}({binds}) => ::serde::Content::Map(vec![(\
+                    ::serde::Content::Str(String::from({vname:?})), \
+                    ::serde::Content::Seq(vec![{items}]))]),"
+            )
+        }
+        VariantShape::Named(fields) => {
+            let binds = fields
+                .iter()
+                .map(|f| f.name.clone())
+                .collect::<Vec<_>>()
+                .join(", ");
+            let entries = fields
+                .iter()
+                .map(|f| named_field_ser(&f.name, &f.name, f.with.as_deref()))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{enum_name}::{vname} {{ {binds} }} => ::serde::Content::Map(vec![(\
+                    ::serde::Content::Str(String::from({vname:?})), \
+                    ::serde::Content::Map(vec![{entries}]))]),"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits = fields
+                .iter()
+                .map(|f| named_field_de(name, f))
+                .collect::<Vec<_>>()
+                .join(",\n");
+            format!("Ok({name} {{\n{inits}\n}})")
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_content(__content)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&__seq[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "let __seq = __content.as_seq({name:?})?;\n\
+                 if __seq.len() != {n} {{\n\
+                     return Err(::serde::DeError::custom(format!(\
+                         \"expected {n} fields for {name}, got {{}}\", __seq.len())));\n\
+                 }}\n\
+                 Ok({name}({items}))"
+            )
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum(variants) => gen_enum_de(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn from_content(__content: &::serde::Content) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn named_field_de(ty: &str, f: &Field) -> String {
+    let fname = &f.name;
+    let lookup = format!(
+        "__content.field({fname:?}).ok_or_else(|| ::serde::DeError::missing_field({ty:?}, {fname:?}))?"
+    );
+    match f.with.as_deref() {
+        Some(path) => format!(
+            "{fname}: {path}::deserialize(::serde::ContentDeserializer(({lookup}).clone()))?"
+        ),
+        None => format!("{fname}: ::serde::Deserialize::from_content({lookup})?"),
+    }
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    let unit_arms = variants
+        .iter()
+        .filter(|v| matches!(v.shape, VariantShape::Unit))
+        .map(|v| format!("{:?} => Ok({name}::{}),", v.name, v.name))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let payload_arms = variants
+        .iter()
+        .filter(|v| !matches!(v.shape, VariantShape::Unit))
+        .map(|v| variant_de_arm(name, v))
+        .collect::<Vec<_>>()
+        .join("\n");
+    format!(
+        "match __content {{\n\
+             ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\n\
+                 __other => Err(::serde::DeError::unknown_variant({name:?}, __other)),\n\
+             }},\n\
+             ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__k, __v) = &__entries[0];\n\
+                 match __k.as_str({name:?})? {{\n\
+                     {payload_arms}\n\
+                     __other => Err(::serde::DeError::unknown_variant({name:?}, __other)),\n\
+                 }}\n\
+             }}\n\
+             __other => Err(::serde::DeError::unexpected(\
+                 {name:?}, \"string or single-entry map\", __other)),\n\
+         }}"
+    )
+}
+
+fn variant_de_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.shape {
+        VariantShape::Unit => unreachable!("unit variants handled in the string arm"),
+        VariantShape::Tuple(1) => format!(
+            "{vname:?} => Ok({enum_name}::{vname}(::serde::Deserialize::from_content(__v)?)),"
+        ),
+        VariantShape::Tuple(n) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&__seq[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{vname:?} => {{\n\
+                     let __seq = __v.as_seq({vname:?})?;\n\
+                     if __seq.len() != {n} {{\n\
+                         return Err(::serde::DeError::custom(format!(\
+                             \"expected {n} fields for {enum_name}::{vname}, got {{}}\", __seq.len())));\n\
+                     }}\n\
+                     Ok({enum_name}::{vname}({items}))\n\
+                 }}"
+            )
+        }
+        VariantShape::Named(fields) => {
+            let inits = fields
+                .iter()
+                .map(|f| {
+                    let fname = &f.name;
+                    let lookup = format!(
+                        "__v.field({fname:?}).ok_or_else(|| \
+                         ::serde::DeError::missing_field({vname:?}, {fname:?}))?"
+                    );
+                    match f.with.as_deref() {
+                        Some(path) => format!(
+                            "{fname}: {path}::deserialize(::serde::ContentDeserializer(({lookup}).clone()))?"
+                        ),
+                        None => {
+                            format!("{fname}: ::serde::Deserialize::from_content({lookup})?")
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(",\n");
+            format!("{vname:?} => Ok({enum_name}::{vname} {{\n{inits}\n}}),")
+        }
+    }
+}

@@ -10,6 +10,7 @@
 //! | layer | crate (re-exported module) |
 //! |---|---|
 //! | units & numerics | [`units`] |
+//! | fleet observability (metrics, alarms, SLOs) | [`telemetry`] |
 //! | photonic link physics | [`optics`] |
 //! | RS(544,514) + soft inner FEC | [`fec`] |
 //! | the Palomar 136×136 MEMS OCS | [`ocs`] |

@@ -163,3 +163,113 @@ proptest! {
         prop_assert!((back.ln() - p.ln()).abs() < 1e-6);
     }
 }
+
+// ── telemetry invariants (alarm hysteresis, histogram merge) ──────────
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Debounce/hysteresis never drops a Critical alarm and never softens
+    /// an incident that has gone Critical, under arbitrary interleavings
+    /// of causes, switches, severities, and clock advances.
+    #[test]
+    fn critical_alarms_never_dropped_or_downgraded(
+        steps in proptest::collection::vec(
+            (0u64..5_000, 0u32..3, 0u8..7, 0u8..3), 1..80),
+    ) {
+        use lightwave::telemetry::{
+            AlarmAggregator, AlarmCause, AlarmRecord, Severity,
+        };
+        use lightwave::units::Nanos;
+        let mut agg = AlarmAggregator::new();
+        let mut now = Nanos(0);
+        let mut critical_ids = Vec::new();
+        for &(dt_ms, switch, cause_sel, sev_sel) in &steps {
+            now = Nanos(now.0 + dt_ms * 1_000_000);
+            let cause = match cause_sel {
+                0 => AlarmCause::MirrorFailed { north_die: true, port: 3, spare_used: false },
+                1 => AlarmCause::AlignmentTimeout { north: 5 },
+                2 => AlarmCause::FruFailed { slot: 2 },
+                3 => AlarmCause::ChassisDown,
+                4 => AlarmCause::HighLoss { north: 1, south: 2, loss_mdb: 4500 },
+                5 => AlarmCause::RateFallback { port: 9 },
+                _ => AlarmCause::Straggler { dim: 1 },
+            };
+            let severity = match sev_sel {
+                0 => Severity::Info,
+                1 => Severity::Warning,
+                _ => Severity::Critical,
+            };
+            let outcome = agg.ingest(AlarmRecord { at: now, severity, switch, cause });
+            let inc = agg
+                .incident(outcome.incident())
+                .expect("every ingest lands in an incident");
+            if severity == Severity::Critical {
+                prop_assert_eq!(inc.severity, Severity::Critical);
+                critical_ids.push(inc.id);
+            }
+            if dt_ms % 7 == 0 {
+                agg.advance(now); // exercise clear + debounce revival
+            }
+        }
+        // Hysteresis may CLEAR a Critical incident; it must never soften it.
+        for id in critical_ids {
+            prop_assert_eq!(agg.incident(id).unwrap().severity, Severity::Critical);
+        }
+        // Conservation: every record pages or is absorbed, exactly once.
+        prop_assert_eq!(agg.pages() + agg.suppressed(), agg.ingested());
+        prop_assert_eq!(agg.pages() as usize, agg.incidents().len());
+        let absorbed: u64 = agg
+            .incidents()
+            .iter()
+            .map(|i| (i.occurrences - 1) + i.correlated)
+            .sum();
+        prop_assert_eq!(absorbed, agg.suppressed());
+    }
+
+    /// LogHistogram merging is exact: any chunking merged in any order is
+    /// bit-identical to recording sequentially, and merge is associative.
+    /// (This is what lets fleet roll-ups combine per-switch histograms.)
+    #[test]
+    fn histogram_merge_exact_any_order(
+        bits in proptest::collection::vec(0u64..u64::MAX, 0..64),
+        chunk in 1usize..8,
+    ) {
+        use lightwave::telemetry::LogHistogram;
+        // Raw bit patterns cover normals, subnormals, zeros, NaNs, negatives.
+        let values: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
+        let mut seq = LogHistogram::new();
+        for &v in &values {
+            seq.record(v);
+        }
+        let parts: Vec<LogHistogram> = values
+            .chunks(chunk)
+            .map(|c| {
+                let mut h = LogHistogram::new();
+                for &v in c {
+                    h.record(v);
+                }
+                h
+            })
+            .collect();
+        let mut rev = LogHistogram::new();
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        prop_assert_eq!(&rev, &seq);
+        // Associativity over a three-way split.
+        if parts.len() >= 3 {
+            let (a, b, c) = (&parts[0], &parts[1], &parts[2]);
+            let mut left = a.clone();
+            left.merge(b);
+            left.merge(c);
+            let mut bc = b.clone();
+            bc.merge(c);
+            let mut right = a.clone();
+            right.merge(&bc);
+            prop_assert_eq!(&left, &right);
+        }
+        // Snapshot/restore is lossless.
+        prop_assert_eq!(&seq.snapshot().restore(), &seq);
+    }
+}

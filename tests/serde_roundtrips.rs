@@ -85,3 +85,79 @@ fn telemetry_and_reports_roundtrip() {
     roundtrip(&planner.plan(&TrafficMatrix::uniform(8, 10.0)));
     roundtrip(&lightwave::dcn::campus::CampusSim::default_campus().run(5, 3));
 }
+
+#[test]
+fn fleet_telemetry_types_roundtrip() {
+    use lightwave::telemetry::{
+        AggregatorConfig, AlarmCause, AlarmRecord, Event, EventKind, HistogramSnapshot, Incident,
+        LogHistogram, MetricKey, MetricSample, Severity,
+    };
+
+    for sev in [Severity::Info, Severity::Warning, Severity::Critical] {
+        roundtrip(&sev);
+    }
+    roundtrip(&AlarmRecord {
+        at: Nanos::from_millis(12),
+        severity: Severity::Critical,
+        switch: 3,
+        cause: AlarmCause::HighLoss {
+            north: 1,
+            south: 65,
+            loss_mdb: 4_870,
+        },
+    });
+    roundtrip(&AlarmCause::MirrorFailed {
+        north_die: true,
+        port: 17,
+        spare_used: false,
+    });
+    roundtrip(&Incident {
+        id: 4,
+        switch: 1,
+        class: lightwave::telemetry::CauseClass::Fru,
+        root: AlarmCause::FruFailed { slot: 6 },
+        opened_at: Nanos::from_millis(3),
+        last_at: Nanos::from_millis(9),
+        severity: Severity::Warning,
+        occurrences: 3,
+        correlated: 48,
+        cleared_at: None,
+    });
+    roundtrip(&AggregatorConfig::default());
+    roundtrip(&Event {
+        at: Nanos::from_millis(7),
+        source: "ocs-3".into(),
+        kind: EventKind::Reconfig {
+            switch: 3,
+            added: 12,
+            removed: 4,
+            untouched: 120,
+            duration: Nanos::from_millis(15),
+        },
+    });
+    roundtrip(&MetricKey::new(
+        "ocs_switch_duration_ms",
+        &[("switch", "3"), ("pod", "a")],
+    ));
+    roundtrip(&MetricSample::Gauge(-3.25));
+    let mut h = LogHistogram::new();
+    for v in [1e-12, 0.5, 3.0, 1e9, f64::NAN, -2.0] {
+        h.record(v);
+    }
+    let snap: HistogramSnapshot = h.snapshot();
+    roundtrip(&snap);
+    assert_eq!(snap.restore(), h, "snapshot restores the exact histogram");
+}
+
+#[test]
+fn slo_and_jsonl_records_roundtrip() {
+    use lightwave::telemetry::{JsonlRecord, SloTracker};
+    let mut slo = SloTracker::ocs_target();
+    slo.observe(Nanos(0), "ocs-0", true);
+    slo.observe(Nanos::from_millis(400), "ocs-0", false);
+    slo.observe(Nanos::from_millis(900), "ocs-0", true);
+    slo.observe(Nanos(0), "ocs-1", true);
+    let report = slo.report(Nanos::from_secs_f64(10.0));
+    roundtrip(&report);
+    roundtrip(&JsonlRecord::Slo { report });
+}
