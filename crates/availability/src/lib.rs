@@ -24,10 +24,10 @@
 
 pub mod timeline;
 
+use lightwave_par::Pool;
 use lightwave_superpod::POD_CUBES;
 use lightwave_units::{math, Availability};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::RngExt;
 use serde::{Deserialize, Serialize};
 
 /// Server-equivalent failure units per cube (rack): 16 CPU hosts plus the
@@ -115,50 +115,83 @@ pub struct GoodputPoint {
 }
 
 /// Generates the Fig. 15b sweep: slice sizes × server availabilities.
+///
+/// Grid points evaluate on the ambient [`Pool`] (honouring
+/// `LIGHTWAVE_THREADS`); results are reduced strictly in grid order, so the
+/// output is identical at any thread count.
 pub fn fig15b_sweep(
     slice_chip_sizes: &[usize],
     server_avails: &[f64],
     target: f64,
 ) -> Vec<GoodputPoint> {
-    let mut out = Vec::new();
-    for &chips in slice_chip_sizes {
-        assert!(chips % 64 == 0, "slice chips must be whole cubes");
-        let cubes = chips / 64;
-        for &sa in server_avails {
+    let grid: Vec<(usize, f64)> = slice_chip_sizes
+        .iter()
+        .flat_map(|&chips| {
+            assert!(chips % 64 == 0, "slice chips must be whole cubes");
+            server_avails.iter().map(move |&sa| (chips, sa))
+        })
+        .collect();
+    lightwave_par::par_map_reduce(
+        &grid,
+        |&(chips, sa), _| {
             let ca = cube_availability(Availability::new(sa));
-            out.push(GoodputPoint {
+            vec![GoodputPoint {
                 slice_chips: chips,
                 server_avail: sa,
-                reconfigurable: reconfigurable_goodput(cubes, ca, target),
-                static_fabric: static_goodput(cubes, ca, target),
-            });
-        }
-    }
-    out
+                reconfigurable: reconfigurable_goodput(chips / 64, ca, target),
+                static_fabric: static_goodput(chips / 64, ca, target),
+            }]
+        },
+        |mut a, mut b| {
+            a.append(&mut b);
+            a
+        },
+    )
+    .unwrap_or_default()
 }
 
+/// Trials per shard for [`monte_carlo_pool_availability`]: each trial draws
+/// [`POD_CUBES`] Bernoulli samples, so 4096 trials is ~260k draws — far
+/// above the engine's dispatch overhead, fine-grained enough to balance.
+pub const POOL_SHARD_TRIALS: u64 = 4_096;
+
 /// Monte-Carlo estimate of P(working cubes ≥ need) — cross-check for the
-/// analytic binomial path.
+/// analytic binomial path — on the ambient [`Pool`] (honouring
+/// `LIGHTWAVE_THREADS`). Same seed, same estimate, any thread count.
 pub fn monte_carlo_pool_availability(
     cube_avail: Availability,
     need: usize,
     trials: u64,
     seed: u64,
 ) -> f64 {
+    monte_carlo_pool_availability_with_pool(&Pool::from_env(), cube_avail, need, trials, seed)
+}
+
+/// [`monte_carlo_pool_availability`] on an explicit pool.
+///
+/// Trials split into [`POOL_SHARD_TRIALS`]-sized shards with the last shard
+/// carrying the remainder, so odd trial counts divide exactly: the estimate
+/// is `successes / trials` over *all* requested trials, never a truncated
+/// multiple of the shard size.
+pub fn monte_carlo_pool_availability_with_pool(
+    pool: &Pool,
+    cube_avail: Availability,
+    need: usize,
+    trials: u64,
+    seed: u64,
+) -> f64 {
     assert!(trials > 0);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut ok = 0u64;
-    for _ in 0..trials {
-        let mut working = 0usize;
-        for _ in 0..POD_CUBES {
-            if rng.random_bool(cube_avail.prob()) {
-                working += 1;
-            }
-        }
-        if working >= need {
-            ok += 1;
-        }
-    }
+    let p = cube_avail.prob();
+    let (ok, _stats) = pool.run_trials(
+        seed,
+        trials,
+        POOL_SHARD_TRIALS,
+        |rng, _trial| {
+            let working = (0..POD_CUBES).filter(|_| rng.random_bool(p)).count();
+            u64::from(working >= need)
+        },
+        |a, b| a + b,
+    );
     ok as f64 / trials as f64
 }
 
@@ -298,6 +331,32 @@ mod tests {
             (analytic - mc).abs() < 0.01,
             "analytic {analytic:.4} vs MC {mc:.4}"
         );
+    }
+
+    #[test]
+    fn monte_carlo_thread_count_invariant() {
+        let ca = cube_availability(Availability::new(0.99));
+        let run = |threads| {
+            monte_carlo_pool_availability_with_pool(&Pool::new(threads), ca, 56, 30_000, 7)
+        };
+        let one = run(1);
+        assert_eq!(one.to_bits(), run(2).to_bits());
+        assert_eq!(one.to_bits(), run(4).to_bits());
+    }
+
+    #[test]
+    fn monte_carlo_odd_trial_count_unbiased() {
+        // Regression: trials not divisible by the shard size must weigh
+        // every trial — p = 1 has to come out exactly 1, and a remainder
+        // tail must not be dropped or double-counted.
+        let certain = Availability::new(1.0);
+        for trials in [1, POOL_SHARD_TRIALS - 1, POOL_SHARD_TRIALS + 1, 10_007] {
+            let est = monte_carlo_pool_availability(certain, 64, trials, 3);
+            assert_eq!(est, 1.0, "trials={trials}");
+        }
+        let never = Availability::new(0.0);
+        let est = monte_carlo_pool_availability(never, 1, 10_007, 3);
+        assert_eq!(est, 0.0);
     }
 
     #[test]

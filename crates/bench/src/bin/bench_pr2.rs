@@ -1,0 +1,271 @@
+//! Parallel-engine throughput benchmark → `BENCH_PR2.json`.
+//!
+//! Measures the three evaluation-scale hot paths — symbol-level Monte-Carlo
+//! BER (Fig. 11a), pool-availability Monte Carlo (Fig. 15), and the fleet
+//! transceiver census (Fig. 13) — serially and on the `lightwave-par`
+//! engine at 1/2/4 worker threads, then writes a machine-readable record
+//! (schema documented in EXPERIMENTS.md) to start the perf trajectory.
+//!
+//! ```text
+//! cargo run -p lightwave-bench --release --bin bench_pr2              # full depth
+//! cargo run -p lightwave-bench --release --bin bench_pr2 -- --smoke  # CI-sized
+//! cargo run -p lightwave-bench --release --bin bench_pr2 -- --out p  # custom path
+//! ```
+
+use lightwave_core::availability::{
+    cube_availability, monte_carlo_pool_availability_with_pool, POOL_SHARD_TRIALS,
+};
+use lightwave_core::optics::ber::{mpi_db, Pam4Receiver};
+use lightwave_core::optics::montecarlo::{simulate_ber_seeded, simulate_ber_with_pool};
+use lightwave_core::superpod::POD_CUBES;
+use lightwave_core::transceiver::fleet::{fleet_census_with_pool, POD_RX_PORTS};
+use lightwave_core::transceiver::ModuleFamily;
+use lightwave_core::units::{Availability, Dbm};
+use lightwave_par::{Pool, THREADS_ENV};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Thread counts the report sweeps.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// One engine measurement at a fixed thread count.
+#[derive(Debug, Serialize)]
+struct ParallelPoint {
+    /// Worker threads in the pool.
+    threads: usize,
+    /// Work units (symbols / trials / ports) per second.
+    per_sec: f64,
+    /// Engine worker utilization for the timed run, in [0, 1]; 0.0 for
+    /// workloads that don't surface engine stats (their wrapper API hides
+    /// `RunStats`).
+    utilization: f64,
+}
+
+/// One hot path's serial-vs-parallel record.
+#[derive(Debug, Serialize)]
+struct Workload {
+    /// Workload id: `mc_ber`, `pool_availability`, or `fleet_census`.
+    id: String,
+    /// The unit `per_sec` counts.
+    unit: String,
+    /// Work units per timed run.
+    n: u64,
+    /// Pre-engine single-stream baseline, units per second.
+    serial_per_sec: f64,
+    /// Engine throughput at each of [`THREAD_COUNTS`].
+    parallel: Vec<ParallelPoint>,
+    /// Best parallel throughput ÷ serial baseline.
+    speedup_best: f64,
+    /// 4-thread engine throughput ÷ serial baseline (the PR-2 acceptance
+    /// number; ≥ 2.5 expected on a ≥ 4-core machine).
+    speedup_4t: f64,
+}
+
+/// The whole report.
+#[derive(Debug, Serialize)]
+struct Report {
+    /// Schema tag for downstream tooling.
+    schema: String,
+    /// `full` or `smoke`.
+    mode: String,
+    /// Hardware context: speedups are bounded by physical cores.
+    available_parallelism: usize,
+    /// The `LIGHTWAVE_THREADS` override in effect, if any.
+    threads_env: Option<String>,
+    /// One record per hot path.
+    workloads: Vec<Workload>,
+}
+
+fn time_per_sec(n: u64, f: impl FnOnce()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    n as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn mc_ber_workload(symbols: u64) -> Workload {
+    let rx = Pam4Receiver::cwdm4_50g();
+    let p = Dbm(-12.5);
+    let mpi = mpi_db(-32.0);
+    // Warm the caches/branch predictors off the clock.
+    let _ = simulate_ber_seeded(&rx, p, mpi, None, (symbols / 20).max(1), 7);
+
+    let serial_per_sec = time_per_sec(symbols, || {
+        let r = simulate_ber_seeded(&rx, p, mpi, None, symbols, 42);
+        assert!(r.bits == symbols * 2);
+    });
+    let parallel: Vec<ParallelPoint> = THREAD_COUNTS
+        .iter()
+        .map(|&threads| {
+            let pool = Pool::new(threads);
+            let mut utilization = 0.0;
+            let per_sec = time_per_sec(symbols, || {
+                let (r, stats) = simulate_ber_with_pool(&pool, &rx, p, mpi, None, symbols, 42);
+                assert!(r.bits == symbols * 2);
+                utilization = stats.utilization();
+            });
+            ParallelPoint {
+                threads,
+                per_sec,
+                utilization,
+            }
+        })
+        .collect();
+    finish(
+        "mc_ber",
+        "symbols_per_sec",
+        symbols,
+        serial_per_sec,
+        parallel,
+    )
+}
+
+fn pool_availability_workload(trials: u64) -> Workload {
+    let ca = cube_availability(Availability::new(0.999));
+    let need = 48;
+    // The pre-engine baseline: one sequential stream over all trials.
+    let serial_per_sec = time_per_sec(trials, || {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut ok = 0u64;
+        for _ in 0..trials {
+            let working = (0..POD_CUBES)
+                .filter(|_| rng.random_bool(ca.prob()))
+                .count();
+            ok += u64::from(working >= need);
+        }
+        assert!(ok <= trials);
+    });
+    let parallel: Vec<ParallelPoint> = THREAD_COUNTS
+        .iter()
+        .map(|&threads| {
+            let pool = Pool::new(threads);
+            let per_sec = time_per_sec(trials, || {
+                let est = monte_carlo_pool_availability_with_pool(&pool, ca, need, trials, 11);
+                assert!((0.0..=1.0).contains(&est));
+            });
+            ParallelPoint {
+                threads,
+                per_sec,
+                utilization: 0.0,
+            }
+        })
+        .collect();
+    finish(
+        "pool_availability",
+        "trials_per_sec",
+        trials,
+        serial_per_sec,
+        parallel,
+    )
+}
+
+fn fleet_census_workload(ports: u64) -> Workload {
+    let family = ModuleFamily::Cwdm4Bidi;
+    let serial = Pool::new(1);
+    let serial_per_sec = time_per_sec(ports, || {
+        let c = fleet_census_with_pool(&serial, ports as usize, family, 42);
+        assert!(!c.samples.is_empty());
+    });
+    let parallel: Vec<ParallelPoint> = THREAD_COUNTS
+        .iter()
+        .map(|&threads| {
+            let pool = Pool::new(threads);
+            let per_sec = time_per_sec(ports, || {
+                let c = fleet_census_with_pool(&pool, ports as usize, family, 42);
+                assert!(!c.samples.is_empty());
+            });
+            ParallelPoint {
+                threads,
+                per_sec,
+                utilization: 0.0,
+            }
+        })
+        .collect();
+    finish(
+        "fleet_census",
+        "ports_per_sec",
+        ports,
+        serial_per_sec,
+        parallel,
+    )
+}
+
+fn finish(
+    id: &str,
+    unit: &str,
+    n: u64,
+    serial_per_sec: f64,
+    parallel: Vec<ParallelPoint>,
+) -> Workload {
+    let best = parallel.iter().fold(0.0f64, |a, p| a.max(p.per_sec));
+    let four = parallel
+        .iter()
+        .find(|p| p.threads == 4)
+        .map(|p| p.per_sec)
+        .unwrap_or(0.0);
+    Workload {
+        id: id.to_string(),
+        unit: unit.to_string(),
+        n,
+        serial_per_sec,
+        speedup_best: best / serial_per_sec.max(1e-9),
+        speedup_4t: four / serial_per_sec.max(1e-9),
+        parallel,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR2.json".to_string());
+
+    let (symbols, trials, ports) = if smoke {
+        (200_000, POOL_SHARD_TRIALS * 4 + 123, 128)
+    } else {
+        (10_000_000, 1_000_000, POD_RX_PORTS as u64)
+    };
+
+    let report = Report {
+        schema: "lightwave/bench-pr2/v1".to_string(),
+        mode: if smoke { "smoke" } else { "full" }.to_string(),
+        available_parallelism: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        threads_env: std::env::var(THREADS_ENV).ok(),
+        workloads: vec![
+            mc_ber_workload(symbols),
+            pool_availability_workload(trials),
+            fleet_census_workload(ports),
+        ],
+    };
+
+    for w in &report.workloads {
+        println!(
+            "{:<17} n={:<9} serial {:>12.0} {}  speedup: best {:.2}x, 4t {:.2}x",
+            w.id, w.n, w.serial_per_sec, w.unit, w.speedup_best, w.speedup_4t
+        );
+        for p in &w.parallel {
+            println!(
+                "  {} thread(s): {:>12.0} {} (utilization {:.0}%)",
+                p.threads,
+                p.per_sec,
+                w.unit,
+                p.utilization * 100.0
+            );
+        }
+    }
+    println!(
+        "machine: available_parallelism={} ({}={:?})",
+        report.available_parallelism, THREADS_ENV, report.threads_env
+    );
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json + "\n").expect("write BENCH_PR2.json");
+    println!("wrote {out}");
+}

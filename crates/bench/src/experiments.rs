@@ -12,7 +12,7 @@ use lightwave_core::ocs::loss::{OpticalCore, RETURN_LOSS_SPEC_DB};
 use lightwave_core::ocs::tech::{select, table_c1, Requirements};
 use lightwave_core::ocs::PalomarOcs;
 use lightwave_core::optics::ber::{mpi_db, OimConfig, Pam4Receiver};
-use lightwave_core::optics::montecarlo::simulate_ber_seeded;
+use lightwave_core::optics::montecarlo::simulate_ber_par;
 use lightwave_core::scheduler::deployment::DeploymentPlan;
 use lightwave_core::scheduler::sim::default_mix;
 use lightwave_core::scheduler::{ClusterSim, Contiguous, Pooled};
@@ -155,11 +155,13 @@ pub fn fig11(quick: bool) -> ExperimentResult {
         }
     ));
 
-    // Monte-Carlo cross-check (the figure's "BER: Monte Carlo" panel).
+    // Monte-Carlo cross-check (the figure's "BER: Monte Carlo" panel), on
+    // the deterministic parallel engine: same seed, same digits, whatever
+    // LIGHTWAVE_THREADS says.
     let symbols = if quick { 300_000 } else { 3_000_000 };
     let p_chk = Dbm(-12.5);
     let analytic = rx.ber(p_chk, mpi_db(-32.0), None).prob();
-    let mc = simulate_ber_seeded(&rx, p_chk, mpi_db(-32.0), None, symbols, 42)
+    let mc = simulate_ber_par(&rx, p_chk, mpi_db(-32.0), None, symbols, 42)
         .ber
         .prob();
     lines.push(format!(

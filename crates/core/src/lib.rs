@@ -26,6 +26,7 @@ pub use lightwave_fec as fec;
 pub use lightwave_mlperf as mlperf;
 pub use lightwave_ocs as ocs;
 pub use lightwave_optics as optics;
+pub use lightwave_par as par;
 pub use lightwave_scheduler as scheduler;
 pub use lightwave_superpod as superpod;
 pub use lightwave_telemetry as telemetry;
@@ -37,6 +38,7 @@ pub mod prelude {
     pub use crate::{DcnPlan, DcnPlanner, LinkDesigner, LinkReport, MlPod};
     pub use lightwave_dcn::{Mesh, TrafficMatrix};
     pub use lightwave_mlperf::{ChipParams, LlmConfig, SliceOptimizer};
+    pub use lightwave_par::{par_map_reduce, par_trials, Pool};
     pub use lightwave_superpod::{Slice, SliceShape, Superpod};
     pub use lightwave_telemetry::{FleetTelemetry, Severity};
     pub use lightwave_transceiver::{DspConfig, ModuleFamily, Transceiver};

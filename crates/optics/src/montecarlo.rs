@@ -15,6 +15,7 @@
 //! with the modeling results").
 
 use crate::ber::{OimConfig, Pam4Receiver};
+use lightwave_par::{Pool, RunStats};
 use lightwave_units::{Ber, Dbm};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -32,10 +33,148 @@ pub struct McBerResult {
     pub ber: Ber,
 }
 
+impl McBerResult {
+    /// Builds the result from raw symbol/error tallies (2 bits per symbol).
+    pub fn from_counts(symbols: u64, errors: u64) -> McBerResult {
+        let bits = symbols * 2;
+        McBerResult {
+            bits,
+            errors,
+            ber: Ber::new(errors as f64 / bits as f64),
+        }
+    }
+}
+
 /// Gray code mapping for PAM4 levels 0..3 → 2-bit patterns.
 const GRAY: [u8; 4] = [0b00, 0b01, 0b11, 0b10];
 
-/// Runs a Monte-Carlo BER estimate.
+/// Gray-decode LUT: bit errors charged when level `tx` is sliced as level
+/// `rx` — `popcount(GRAY[tx] ^ GRAY[rx])`, precomputed so the symbol loop
+/// never re-derives bit patterns.
+const BIT_ERRORS: [[u64; 4]; 4] = {
+    let mut t = [[0u64; 4]; 4];
+    let mut tx = 0;
+    while tx < 4 {
+        let mut rx = 0;
+        while rx < 4 {
+            t[tx][rx] = (GRAY[tx] ^ GRAY[rx]).count_ones() as u64;
+            rx += 1;
+        }
+        tx += 1;
+    }
+    t
+};
+
+/// Symbols per shard for the parallel Monte-Carlo paths. Large enough that
+/// the MPI phase walk decorrelates many times over within one shard (it
+/// decorrelates over ~1000 symbols) and that per-shard dispatch overhead
+/// vanishes; small enough to load-balance across workers.
+pub const DEFAULT_SHARD_SYMBOLS: u64 = 1 << 16;
+
+/// The precomputed PAM4 channel for the symbol loop: per-level signal
+/// currents, per-level additive-noise samplers, slicing thresholds, and
+/// per-level MPI beat amplitudes. Everything RNG-independent is hoisted
+/// here — built once per run, shared read-only by every shard.
+#[derive(Debug, Clone)]
+pub struct McChannel {
+    currents: [f64; 4],
+    noise: [Normal<f64>; 4],
+    thresholds: [f64; 3],
+    beat_scale: [f64; 4],
+    phase_step: Normal<f64>,
+    has_mpi: bool,
+}
+
+impl McChannel {
+    /// Precomputes the channel for one (receiver, power, MPI, OIM) point.
+    ///
+    /// * `mpi_ratio` — linear interferer-to-signal power ratio.
+    /// * `oim` — optional OIM DSP config (applied as beat-amplitude
+    ///   suppression, mirroring the notch filter).
+    pub fn new(
+        rx: &Pam4Receiver,
+        received: Dbm,
+        mpi_ratio: f64,
+        oim: Option<OimConfig>,
+    ) -> McChannel {
+        let levels_w = rx.level_powers_w(received);
+        let m = levels_w.len();
+        assert_eq!(m, 4, "Monte-Carlo simulator is written for PAM4");
+        let p_avg_w = levels_w.iter().sum::<f64>() / m as f64;
+        let mut currents = [0.0; 4];
+        for (c, &p) in currents.iter_mut().zip(&levels_w) {
+            *c = rx.responsivity * p;
+        }
+        let thresholds: [f64; 3] = rx
+            .thresholds(received, mpi_ratio, oim)
+            .try_into()
+            .expect("PAM4 has three slicing thresholds");
+
+        // Per-level *additive* (thermal+shot+RIN) noise — everything except
+        // MPI — as ready-built samplers.
+        let mut noise = [Normal::new(0.0, 1e-18).expect("valid sigma"); 4];
+        for (d, &p) in noise.iter_mut().zip(&levels_w) {
+            let b = rx.bandwidth_hz();
+            let i = rx.responsivity * p;
+            let thermal = rx.thermal_noise_density * rx.thermal_noise_density * b;
+            let shot = 2.0 * 1.602_176_634e-19 * i * b;
+            let rin = rx.rin * i * i * b;
+            let sigma = (thermal + shot + rin).sqrt();
+            *d = Normal::new(0.0, sigma.max(1e-18)).expect("sigma positive");
+        }
+
+        // MPI beat: i(t) = 2ξ'·R·√(P_sym·P_mpi)·cos φ(t). The phase wanders
+        // slowly (interferer path length drifts), modeled as a random walk
+        // that decorrelates over ~1000 symbols. OIM suppresses the beat
+        // amplitude by the sqrt of its power factor. Amplitude calibrated so
+        // ⟨i²⟩ = 2·ξ·m·R²·P_sym·P_avg matches the analytic variance:
+        // amp = 2√ξ·R√(P_sym·P_mpi) gives var 2ξR²PP_mpi.
+        let m_eff = match oim {
+            Some(cfg) => mpi_ratio * cfg.mpi_power_factor(),
+            None => mpi_ratio,
+        };
+        let p_mpi_w = m_eff * p_avg_w;
+        let xi_amp = 2.0 * rx.mpi_xi.sqrt();
+        let mut beat_scale = [0.0; 4];
+        for (s, &p) in beat_scale.iter_mut().zip(&levels_w) {
+            *s = xi_amp * rx.responsivity * (p * p_mpi_w).sqrt();
+        }
+        McChannel {
+            currents,
+            noise,
+            thresholds,
+            beat_scale,
+            phase_step: Normal::new(0.0, 0.05).expect("valid sigma"),
+            has_mpi: p_mpi_w > 0.0,
+        }
+    }
+
+    /// Transmits `symbols` random Gray-coded PAM4 symbols over the channel
+    /// with `rng`, returning the bit-error count. One contiguous stream:
+    /// the MPI beat phase wanders across the whole range.
+    pub fn run(&self, symbols: u64, rng: &mut StdRng) -> u64 {
+        assert!(symbols > 0, "must simulate at least one symbol");
+        let [t0, t1, t2] = self.thresholds;
+        let mut phase: f64 = rng.random_range(0.0..std::f64::consts::TAU);
+        let mut errors = 0u64;
+        for _ in 0..symbols {
+            let level = rng.random_range(0usize..4);
+            let mut current = self.currents[level] + self.noise[level].sample(rng);
+            if self.has_mpi {
+                phase += self.phase_step.sample(rng);
+                current += self.beat_scale[level] * phase.cos();
+            }
+            // Slice against the analytic thresholds.
+            let decided =
+                usize::from(current > t0) + usize::from(current > t1) + usize::from(current > t2);
+            errors += BIT_ERRORS[level][decided];
+        }
+        errors
+    }
+}
+
+/// Runs a Monte-Carlo BER estimate on a caller-supplied generator (one
+/// contiguous symbol stream — the single-shard primitive).
 ///
 /// * `symbols` — number of PAM4 symbols to simulate (2 bits each).
 /// * `mpi_ratio` — linear interferer-to-signal power ratio.
@@ -50,66 +189,59 @@ pub fn simulate_ber(
     rng: &mut StdRng,
 ) -> McBerResult {
     assert!(symbols > 0, "must simulate at least one symbol");
-    let levels_w = rx.level_powers_w(received);
-    let m = levels_w.len();
-    assert_eq!(m, 4, "Monte-Carlo simulator is written for PAM4");
-    let p_avg_w = levels_w.iter().sum::<f64>() / m as f64;
-    let currents: Vec<f64> = levels_w.iter().map(|&p| rx.responsivity * p).collect();
-    let thresholds = rx.thresholds(received, mpi_ratio, oim);
+    let errors = McChannel::new(rx, received, mpi_ratio, oim).run(symbols, rng);
+    McBerResult::from_counts(symbols, errors)
+}
 
-    // Per-level *additive* (thermal+shot+RIN) noise — everything except MPI.
-    let sigmas_add: Vec<f64> = levels_w
-        .iter()
-        .map(|&p| {
-            let b = rx.bandwidth_hz();
-            let i = rx.responsivity * p;
-            let thermal = rx.thermal_noise_density * rx.thermal_noise_density * b;
-            let shot = 2.0 * 1.602_176_634e-19 * i * b;
-            let rin = rx.rin * i * i * b;
-            (thermal + shot + rin).sqrt()
-        })
-        .collect();
-    let noise_dists: Vec<Normal<f64>> = sigmas_add
-        .iter()
-        .map(|&s| Normal::new(0.0, s.max(1e-18)).expect("sigma positive"))
-        .collect();
+/// Runs the Monte-Carlo BER estimate on the `lightwave-par` engine with the
+/// ambient pool ([`Pool::from_env`], honouring `LIGHTWAVE_THREADS`).
+///
+/// Symbols split into [`DEFAULT_SHARD_SYMBOLS`]-sized shards (the last
+/// carries the remainder); each shard is an independent symbol stream
+/// seeded from `(seed, shard_index)`, and integer error counts merge in
+/// shard-index order — the same seed yields a bit-identical [`McBerResult`]
+/// at any thread count.
+pub fn simulate_ber_par(
+    rx: &Pam4Receiver,
+    received: Dbm,
+    mpi_ratio: f64,
+    oim: Option<OimConfig>,
+    symbols: u64,
+    seed: u64,
+) -> McBerResult {
+    simulate_ber_with_pool(
+        &Pool::from_env(),
+        rx,
+        received,
+        mpi_ratio,
+        oim,
+        symbols,
+        seed,
+    )
+    .0
+}
 
-    // MPI beat: i(t) = 2ξ'·R·√(P_sym·P_mpi)·cos φ(t). The phase wanders
-    // slowly (interferer path length drifts), modeled as a random walk that
-    // decorrelates over ~1000 symbols. OIM suppresses the beat amplitude by
-    // the sqrt of its power factor.
-    let m_eff = match oim {
-        Some(cfg) => mpi_ratio * cfg.mpi_power_factor(),
-        None => mpi_ratio,
-    };
-    let p_mpi_w = m_eff * p_avg_w;
-    // Amplitude calibrated so ⟨i²⟩ = 2·ξ·m·R²·P_sym·P_avg matches the
-    // analytic variance: 2ξ' ²·R²·P·P_mpi·⟨cos²⟩ = ξ'²·... choose
-    // ξ' = √(2ξ)/... solve: amp = 2√ξ·R√(P_sym·P_mpi) gives var 2ξR²PP_mpi.
-    let xi_amp = 2.0 * rx.mpi_xi.sqrt();
-    let mut phase: f64 = rng.random_range(0.0..std::f64::consts::TAU);
-    let phase_step = Normal::new(0.0, 0.05).expect("valid sigma");
-
-    let mut errors = 0u64;
-    for _ in 0..symbols {
-        let level = rng.random_range(0usize..4);
-        let tx_bits = GRAY[level];
-        let mut current = currents[level] + noise_dists[level].sample(rng);
-        if p_mpi_w > 0.0 {
-            phase += phase_step.sample(rng);
-            current += xi_amp * rx.responsivity * (levels_w[level] * p_mpi_w).sqrt() * phase.cos();
-        }
-        // Slice against the analytic thresholds.
-        let decided = thresholds.iter().filter(|&&t| current > t).count();
-        let rx_bits = GRAY[decided];
-        errors += (tx_bits ^ rx_bits).count_ones() as u64;
-    }
-    let bits = symbols * 2;
-    McBerResult {
-        bits,
-        errors,
-        ber: Ber::new(errors as f64 / bits as f64),
-    }
+/// [`simulate_ber_par`] on an explicit pool, also returning the engine's
+/// [`RunStats`] (shards completed, worker utilization) for telemetry.
+pub fn simulate_ber_with_pool(
+    pool: &Pool,
+    rx: &Pam4Receiver,
+    received: Dbm,
+    mpi_ratio: f64,
+    oim: Option<OimConfig>,
+    symbols: u64,
+    seed: u64,
+) -> (McBerResult, RunStats) {
+    assert!(symbols > 0, "must simulate at least one symbol");
+    let chan = McChannel::new(rx, received, mpi_ratio, oim);
+    let (errors, stats) = pool.run_shards(
+        seed,
+        symbols,
+        DEFAULT_SHARD_SYMBOLS,
+        |rng, shard| chan.run(shard.len, rng),
+        |a, b| a + b,
+    );
+    (McBerResult::from_counts(symbols, errors), stats)
 }
 
 /// Runs the Monte-Carlo with a **real digital OIM canceller** instead of
@@ -172,7 +304,6 @@ pub fn simulate_ber_digital_oim(
     let mut errors = 0u64;
     for _ in 0..symbols {
         let level = rng.random_range(0usize..4);
-        let tx_bits = GRAY[level];
         let mut y = currents[level] + noise_dists[level].sample(rng);
         if p_mpi_w > 0.0 {
             phase += phase_step.sample(rng);
@@ -195,15 +326,9 @@ pub fn simulate_ber_digital_oim(
             let residual = (y - currents[decided]) / beat_scale[decided];
             c_hat = (1.0 - mu) * c_hat + mu * residual.clamp(-1.5, 1.5);
         }
-        let rx_bits = GRAY[decided];
-        errors += (tx_bits ^ rx_bits).count_ones() as u64;
+        errors += BIT_ERRORS[level][decided];
     }
-    let bits = symbols * 2;
-    McBerResult {
-        bits,
-        errors,
-        ber: Ber::new(errors as f64 / bits as f64),
-    }
+    McBerResult::from_counts(symbols, errors)
 }
 
 /// Convenience wrapper with a fixed seed, for the repro harness.
@@ -284,6 +409,63 @@ mod tests {
         let a = simulate_ber_seeded(&rx, Dbm(-13.0), mpi_db(-32.0), None, 100_000, 3);
         let b = simulate_ber_seeded(&rx, Dbm(-13.0), mpi_db(-32.0), None, 100_000, 3);
         assert_eq!(a.errors, b.errors);
+    }
+
+    #[test]
+    fn gray_decode_lut_matches_popcount() {
+        for tx in 0..4usize {
+            for dec in 0..4usize {
+                assert_eq!(
+                    BIT_ERRORS[tx][dec],
+                    u64::from((GRAY[tx] ^ GRAY[dec]).count_ones()),
+                    "LUT entry ({tx},{dec})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_path_thread_count_invariant() {
+        let rx = Pam4Receiver::cwdm4_50g();
+        let run = |threads| {
+            simulate_ber_with_pool(
+                &Pool::new(threads),
+                &rx,
+                Dbm(-13.0),
+                mpi_db(-32.0),
+                None,
+                300_000,
+                42,
+            )
+            .0
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(4));
+    }
+
+    #[test]
+    fn parallel_path_matches_analytic() {
+        let rx = Pam4Receiver::cwdm4_50g();
+        let p = Dbm(-13.0);
+        let analytic = rx.ber(p, 0.0, None).prob();
+        let mc = simulate_ber_par(&rx, p, 0.0, None, 2_000_000, 42);
+        let ratio = mc.ber.prob() / analytic;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "parallel MC {:e} vs analytic {analytic:e} (ratio {ratio:.2})",
+            mc.ber.prob()
+        );
+    }
+
+    #[test]
+    fn parallel_remainder_symbols_all_simulated() {
+        // Symbol count not divisible by the shard size: the tally must
+        // still cover every symbol (the last shard carries the remainder).
+        let rx = Pam4Receiver::cwdm4_50g();
+        let n = DEFAULT_SHARD_SYMBOLS * 3 + 41;
+        let r = simulate_ber_par(&rx, Dbm(-13.0), 0.0, None, n, 9);
+        assert_eq!(r.bits, n * 2);
     }
 
     #[test]

@@ -15,13 +15,20 @@ use crate::dsp::DspConfig;
 use crate::module::{ModuleFamily, Transceiver};
 use lightwave_optics::components::{Component, ComponentKind};
 use lightwave_optics::link::LinkBudget;
+use lightwave_par::Pool;
 use lightwave_units::Ber;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::RngExt;
 use serde::{Deserialize, Serialize};
 
 /// Receiving ports in a full 4096-TPU pod: 16 per face × 6 faces × 64 cubes.
 pub const POD_RX_PORTS: usize = 16 * 6 * 64;
+
+/// Ports per census shard: one cube face's worth of receiving ports. The
+/// full pod census makes 384 shards — plenty of load-balancing granularity,
+/// and each shard is heavy enough (16 full link evaluations) to amortize
+/// dispatch.
+pub const CENSUS_SHARD_PORTS: u64 = 16;
 
 /// One sampled lane observation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -45,55 +52,92 @@ pub struct FleetCensus {
     pub median_margin_orders: f64,
 }
 
-/// Runs the Fig. 13 census.
+/// Samples and evaluates one receiving port's link, appending its lanes.
+fn census_port(
+    port: u32,
+    family: ModuleFamily,
+    dsp: DspConfig,
+    rng: &mut StdRng,
+    samples: &mut Vec<LaneSample>,
+) -> bool {
+    let tx = Transceiver::sample(family, rng);
+    let rx = Transceiver::sample(family, rng);
+    // Sample the fiber plant: intra-building runs of 20..150 m plus
+    // component manufacturing variation.
+    let fiber_km = rng.random_range(0.02..0.15);
+    let components = vec![
+        Component::sampled(ComponentKind::WdmMux, rng),
+        Component::sampled(ComponentKind::CirculatorPass, rng),
+        Component::sampled(ComponentKind::Connector, rng),
+        Component::fiber_span(fiber_km / 2.0),
+        Component::sampled(ComponentKind::OcsPass, rng),
+        Component::fiber_span(fiber_km / 2.0),
+        Component::sampled(ComponentKind::Connector, rng),
+        Component::sampled(ComponentKind::CirculatorPass, rng),
+        Component::sampled(ComponentKind::WdmDemux, rng),
+    ];
+    let budget = LinkBudget::new(tx.launch, components).expect("non-empty chain");
+    let link = BidiLink {
+        tx_unit: tx,
+        rx_unit: rx,
+        budget,
+        dsp,
+        fiber_km,
+    };
+    let lanes = link.evaluate();
+    let violated = lanes.iter().any(|l| !l.raw_ber.meets(Ber::KP4_THRESHOLD));
+    samples.extend(lanes.into_iter().map(|l| LaneSample {
+        port,
+        lane: l.lane,
+        ber: l.raw_ber,
+    }));
+    violated
+}
+
+/// Runs the Fig. 13 census on the ambient [`Pool`] (honouring
+/// `LIGHTWAVE_THREADS`).
 ///
 /// * `ports` — number of receiving ports to sample (use [`POD_RX_PORTS`]
 ///   for the full pod; tests use fewer).
 /// * `family` — transceiver family in service.
+///
+/// Ports shard in [`CENSUS_SHARD_PORTS`]-sized groups, each group sampling
+/// its transceivers and fiber plant from a `(seed, shard_index)`-derived
+/// stream; shard results concatenate in shard order, so the census —
+/// sample order included — is identical at any thread count.
 pub fn fleet_census(ports: usize, family: ModuleFamily, seed: u64) -> FleetCensus {
-    assert!(ports > 0, "census needs at least one port");
-    let mut rng = StdRng::seed_from_u64(seed);
-    let dsp = DspConfig::ml_production();
-    let mut samples = Vec::new();
-    let mut violations = 0usize;
+    fleet_census_with_pool(&Pool::from_env(), ports, family, seed)
+}
 
-    for port in 0..ports {
-        let tx = Transceiver::sample(family, &mut rng);
-        let rx = Transceiver::sample(family, &mut rng);
-        // Sample the fiber plant: intra-building runs of 20..150 m plus
-        // component manufacturing variation.
-        let fiber_km = rng.random_range(0.02..0.15);
-        let components = vec![
-            Component::sampled(ComponentKind::WdmMux, &mut rng),
-            Component::sampled(ComponentKind::CirculatorPass, &mut rng),
-            Component::sampled(ComponentKind::Connector, &mut rng),
-            Component::fiber_span(fiber_km / 2.0),
-            Component::sampled(ComponentKind::OcsPass, &mut rng),
-            Component::fiber_span(fiber_km / 2.0),
-            Component::sampled(ComponentKind::Connector, &mut rng),
-            Component::sampled(ComponentKind::CirculatorPass, &mut rng),
-            Component::sampled(ComponentKind::WdmDemux, &mut rng),
-        ];
-        let budget = LinkBudget::new(tx.launch, components).expect("non-empty chain");
-        let link = BidiLink {
-            tx_unit: tx,
-            rx_unit: rx,
-            budget,
-            dsp,
-            fiber_km,
-        };
-        let lanes = link.evaluate();
-        if lanes.iter().any(|l| !l.raw_ber.meets(Ber::KP4_THRESHOLD)) {
-            violations += 1;
-        }
-        for l in lanes {
-            samples.push(LaneSample {
-                port: port as u32,
-                lane: l.lane,
-                ber: l.raw_ber,
-            });
-        }
-    }
+/// [`fleet_census`] on an explicit pool.
+pub fn fleet_census_with_pool(
+    pool: &Pool,
+    ports: usize,
+    family: ModuleFamily,
+    seed: u64,
+) -> FleetCensus {
+    assert!(ports > 0, "census needs at least one port");
+    let dsp = DspConfig::ml_production();
+
+    let ((samples, violations), _stats) = pool.run_shards(
+        seed,
+        ports as u64,
+        CENSUS_SHARD_PORTS,
+        |rng, shard| {
+            let mut samples = Vec::new();
+            let mut violations = 0usize;
+            for port in shard.start..shard.start + shard.len {
+                if census_port(port as u32, family, dsp, rng, &mut samples) {
+                    violations += 1;
+                }
+            }
+            (samples, violations)
+        },
+        |(mut samples, violations), (mut more, extra)| {
+            samples.append(&mut more);
+            (samples, violations + extra)
+        },
+    );
 
     let mut margins: Vec<f64> = samples
         .iter()
@@ -160,5 +204,26 @@ mod tests {
         let a = fleet_census(50, ModuleFamily::Cwdm4Bidi, 5);
         let b = fleet_census(50, ModuleFamily::Cwdm4Bidi, 5);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn census_thread_count_invariant() {
+        // 130 ports: not divisible by the shard size, so the remainder
+        // shard is exercised too.
+        let run =
+            |threads| fleet_census_with_pool(&Pool::new(threads), 130, ModuleFamily::Cwdm4Bidi, 42);
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(4));
+        assert_eq!(one.samples.len(), 130 * 4);
+    }
+
+    #[test]
+    fn census_samples_stay_in_port_order() {
+        let census = fleet_census(80, ModuleFamily::Cwdm4Bidi, 3);
+        let ports: Vec<u32> = census.samples.iter().map(|s| s.port).collect();
+        let mut sorted = ports.clone();
+        sorted.sort_unstable();
+        assert_eq!(ports, sorted, "shard-ordered merge keeps sample order");
     }
 }

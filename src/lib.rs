@@ -10,6 +10,7 @@
 //! | layer | crate (re-exported module) |
 //! |---|---|
 //! | units & numerics | [`units`] |
+//! | deterministic parallel execution | [`par`] |
 //! | fleet observability (metrics, alarms, SLOs) | [`telemetry`] |
 //! | photonic link physics | [`optics`] |
 //! | RS(544,514) + soft inner FEC | [`fec`] |
