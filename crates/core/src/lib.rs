@@ -30,6 +30,7 @@ pub use lightwave_par as par;
 pub use lightwave_scheduler as scheduler;
 pub use lightwave_superpod as superpod;
 pub use lightwave_telemetry as telemetry;
+pub use lightwave_trace as trace;
 pub use lightwave_transceiver as transceiver;
 pub use lightwave_units as units;
 
@@ -41,6 +42,7 @@ pub mod prelude {
     pub use lightwave_par::{par_map_reduce, par_trials, Pool};
     pub use lightwave_superpod::{Slice, SliceShape, Superpod};
     pub use lightwave_telemetry::{FleetTelemetry, Severity};
+    pub use lightwave_trace::{to_chrome_trace, FlightRecorder, Tracer};
     pub use lightwave_transceiver::{DspConfig, ModuleFamily, Transceiver};
     pub use lightwave_units::{Availability, Ber, Db, Dbm, Gbps, Nanos};
 }
@@ -50,6 +52,7 @@ use lightwave_mlperf::{LlmConfig, OptimalShape, SliceOptimizer};
 use lightwave_superpod::pod::{PodError, SliceHandle};
 use lightwave_superpod::slice::Slice;
 use lightwave_superpod::Superpod;
+use lightwave_trace::{SpanId, Tracer};
 use lightwave_transceiver::bidilink::{BidiLink, LaneReport};
 use lightwave_transceiver::dsp::DspConfig;
 use lightwave_transceiver::module::{ModuleFamily, Transceiver};
@@ -151,10 +154,89 @@ impl MlPod {
         })
     }
 
+    /// [`Self::place_model`] plus the causal span tree of the fabric
+    /// transaction ([`lightwave_superpod::instrument::trace_compose`]):
+    /// a `SliceCompose` span on the pod lane with every touched switch's
+    /// reconfiguration — and its drain → settle → verify → undrain phase
+    /// chain — as children. Returns the placement and the compose span.
+    pub fn place_model_traced(
+        &mut self,
+        tracer: &mut Tracer,
+        parent: Option<SpanId>,
+        model: &LlmConfig,
+        chips: usize,
+    ) -> Result<(ModelPlacement, SpanId), PlacementError> {
+        let plan = self
+            .optimizer
+            .optimize(model, chips)
+            .ok_or(PlacementError::NoFeasibleShape)?;
+        let idle = self.pod.idle_cubes();
+        let need = plan.shape.cube_count();
+        if idle.len() < need {
+            return Err(PlacementError::InsufficientCubes {
+                need,
+                idle: idle.len(),
+            });
+        }
+        let slice = Slice::new(plan.shape, idle.into_iter().take(need).collect())
+            .expect("idle cubes are distinct and in range");
+        let at = self.now();
+        let (handle, report) = self.pod.compose(slice)?;
+        let span = lightwave_superpod::instrument::trace_compose(
+            tracer,
+            parent,
+            0,
+            at,
+            need as u32,
+            &report,
+        );
+        Ok((
+            ModelPlacement {
+                handle,
+                plan,
+                traffic_ready_at: report.traffic_ready_at,
+            },
+            span,
+        ))
+    }
+
     /// Releases a placed model.
     pub fn release(&mut self, handle: SliceHandle) -> Result<(), PlacementError> {
         self.pod.release(handle)?;
         Ok(())
+    }
+
+    /// [`Self::release`] plus the span tree of the teardown transaction
+    /// (`SliceRelease` on the pod lane, per-switch children). Returns the
+    /// release span.
+    pub fn release_traced(
+        &mut self,
+        tracer: &mut Tracer,
+        parent: Option<SpanId>,
+        handle: SliceHandle,
+    ) -> Result<SpanId, PlacementError> {
+        let cubes = self
+            .pod
+            .slice(handle)
+            .map(|s| s.cubes.len() as u32)
+            .unwrap_or(0);
+        let at = self.now();
+        let report = self.pod.release(handle)?;
+        Ok(lightwave_superpod::instrument::trace_release(
+            tracer, parent, 0, at, cubes, &report,
+        ))
+    }
+
+    /// The pod's current sim time (the fleet's furthest-advanced switch
+    /// clock).
+    pub fn now(&self) -> Nanos {
+        self.pod
+            .fabric()
+            .fleet
+            .iter()
+            .map(|(_, ocs)| ocs.now())
+            .max()
+            .unwrap_or(Nanos(0))
     }
 
     /// Advances fabric time.
@@ -233,6 +315,138 @@ impl MlPod {
                 0.0
             },
         }
+    }
+}
+
+/// Everything [`run_traced_fault_recovery`] produced: the span timeline,
+/// the telemetry sink, and the flight recorder with its postmortem dumps.
+#[derive(Debug)]
+pub struct TracedRecovery {
+    /// The span timeline (export with [`lightwave_trace::to_chrome_trace`]).
+    pub tracer: Tracer,
+    /// Metrics, events, alarms, SLOs from the run.
+    pub telemetry: lightwave_telemetry::FleetTelemetry,
+    /// The flight recorder; [`FlightRecorder::dumps`](lightwave_trace::FlightRecorder::dumps)
+    /// holds the postmortem bundles.
+    pub recorder: lightwave_trace::FlightRecorder,
+    /// Incident ids dumped by the final poll.
+    pub dumped: Vec<u64>,
+}
+
+/// Runs the §4.2.2 fault-recovery scenario fully instrumented: place a
+/// 1024-chip job (traced fabric transaction), run a sharded Monte-Carlo
+/// stage on `pool` (virtual worker lanes), lose a cube mid-training,
+/// recover by recomposing onto a spare — and, mid-reconfiguration, lose
+/// both PSUs on one switch. The chassis-down Critical lands in the alarm
+/// aggregator and the flight recorder snapshots the postmortem bundle.
+///
+/// Everything is a pure function of `seed` and sim-time: the exported
+/// trace and flight bundle are **byte-identical at any `pool` thread
+/// count** (the determinism round-trip test pins this).
+pub fn run_traced_fault_recovery(seed: u64, pool: &lightwave_par::Pool) -> TracedRecovery {
+    use lightwave_fabric::instrument::FabricInstruments;
+    use lightwave_par::instrument::run_shards_traced;
+    use lightwave_superpod::instrument::trace_compose;
+    use lightwave_telemetry::FleetTelemetry;
+    use lightwave_trace::{FlightRecorder, Lane, SpanKind};
+    use rand::RngExt;
+
+    let mut telemetry = FleetTelemetry::new();
+    let mut tracer = Tracer::new(seed);
+    let mut recorder = FlightRecorder::new(512);
+    let mut fabric_inst = FabricInstruments::register(&mut telemetry);
+    let mut pod = MlPod::new(seed);
+
+    // 1. Place a 1024-chip job (16 cubes) — traced fabric transaction.
+    let (placement, place_span) = pod
+        .place_model_traced(&mut tracer, None, &LlmConfig::llm1(), 1024)
+        .expect("empty pod fits the job");
+    pod.advance(Nanos::from_millis(300));
+    fabric_inst.scrape_fleet(&mut telemetry, &pod.pod.fabric().fleet);
+
+    // 2. A training-step stand-in: sharded Monte-Carlo on the pool,
+    //    rendered on the virtual worker lanes.
+    let (_acc, _stats) = run_shards_traced(
+        pool,
+        &mut tracer,
+        Some(place_span),
+        pod.now(),
+        Nanos(50),
+        seed,
+        4_096,
+        256,
+        |rng, shard| {
+            (0..shard.len)
+                .map(|_| rng.random_range(0.0f64..1.0))
+                .sum::<f64>()
+        },
+        |a, b| a + b,
+    );
+
+    // 3. A cube fails mid-training; recovery = release + recompose onto a
+    //    spare, all under one FaultRecovery span.
+    let recovery = tracer.begin(
+        Lane::Pod(0),
+        None,
+        pod.now(),
+        SpanKind::FaultRecovery {
+            what: "cube-swap".to_string(),
+        },
+    );
+    tracer.link_follows(recovery, place_span);
+    let old = pod.pod.slice(placement.handle).expect("live").clone();
+    let victim = old.cubes[3];
+    pod.pod.mark_cube_failed(victim);
+    let release_span = pod
+        .release_traced(&mut tracer, Some(recovery), placement.handle)
+        .expect("slice is live");
+    let spare = pod
+        .pod
+        .idle_cubes()
+        .into_iter()
+        .find(|c| !old.cubes.contains(c))
+        .expect("the pod has spares");
+    let cubes: Vec<_> = old
+        .cubes
+        .iter()
+        .map(|&c| if c == victim { spare } else { c })
+        .collect();
+    let at = pod.now();
+    let (_handle, report) = pod
+        .pod
+        .compose(Slice::new(old.shape, cubes).expect("valid"))
+        .expect("spare composition");
+    let swap_span = trace_compose(
+        &mut tracer,
+        Some(recovery),
+        0,
+        at,
+        old.shape.cube_count() as u32,
+        &report,
+    );
+    tracer.link_follows(swap_span, release_span);
+
+    // 4. Mid-reconfiguration FRU fault: both PSUs on OCS 5 die before the
+    //    swapped circuits settle — chassis down, Critical.
+    {
+        let ocs = pod.pod.fabric_mut().fleet.get_mut(5).expect("exists");
+        ocs.fail_fru(0);
+        ocs.fail_fru(1);
+    }
+    tracer.instant(Lane::Switch(5), pod.now(), "both PSUs down mid-reconfig");
+    tracer.end(recovery, report.traffic_ready_at.max(pod.now()));
+    pod.advance(Nanos::from_millis(300));
+
+    // 5. The fleet scrape forwards the chassis-down alarm; the poll sees
+    //    the Critical incident and snapshots the postmortem bundle.
+    fabric_inst.scrape_fleet(&mut telemetry, &pod.pod.fabric().fleet);
+    let dumped = recorder.poll(&tracer, &telemetry);
+
+    TracedRecovery {
+        tracer,
+        telemetry,
+        recorder,
+        dumped,
     }
 }
 
@@ -462,6 +676,66 @@ mod tests {
             loss_after > loss_before,
             "spare swaps degrade the measured path: {loss_before:.2} → {loss_after:.2} dB"
         );
+    }
+
+    #[test]
+    fn traced_fault_recovery_dumps_the_full_phase_chain() {
+        use lightwave_trace::{FlightEntry, ReconfigPhase, SpanKind};
+
+        let out = run_traced_fault_recovery(11, &lightwave_par::Pool::new(2));
+        assert!(!out.dumped.is_empty(), "the chassis-down Critical dumps");
+        let dump = out.recorder.latest_dump().expect("dumped");
+        let spans: Vec<_> = dump
+            .entries
+            .iter()
+            .filter_map(|e| match e {
+                FlightEntry::Span(s) => Some(s),
+                FlightEntry::Event(_) => None,
+            })
+            .collect();
+        // The bundle carries at least one complete drain → settle →
+        // verify → undrain chain, parented to its switch's reconfig span.
+        let drains: Vec<_> = spans
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s.kind,
+                    SpanKind::Phase {
+                        phase: ReconfigPhase::Drain,
+                        ..
+                    }
+                )
+            })
+            .collect();
+        assert!(!drains.is_empty(), "drain phases in the bundle");
+        let drain = drains[0];
+        let commit = drain.parent.expect("phases are parented");
+        let commit_span = spans.iter().find(|s| s.id == commit).expect("in bundle");
+        assert!(matches!(commit_span.kind, SpanKind::ReconfigCommit { .. }));
+        // The three successors, chained follows-from off the drain.
+        let mut prev = drain.id;
+        for phase in [
+            ReconfigPhase::MirrorSettle,
+            ReconfigPhase::CameraVerify,
+            ReconfigPhase::Undrain,
+        ] {
+            let next = spans
+                .iter()
+                .find(|s| {
+                    s.parent == Some(commit)
+                        && s.follows == Some(prev)
+                        && matches!(s.kind, SpanKind::Phase { phase: p, .. } if p == phase)
+                })
+                .unwrap_or_else(|| panic!("{phase:?} follows the chain"));
+            prev = next.id;
+        }
+        // And the fault-recovery umbrella span made it in too.
+        assert!(spans
+            .iter()
+            .any(|s| matches!(s.kind, SpanKind::FaultRecovery { .. })));
+        // The bundle round-trips as JSONL.
+        let jsonl = dump.to_jsonl();
+        lightwave_trace::validate::validate_flight_jsonl(&jsonl).expect("parseable");
     }
 
     #[test]

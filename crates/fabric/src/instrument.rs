@@ -14,6 +14,7 @@ use crate::controller::{CommitError, CommitReport, FabricController, FabricTarge
 use crate::fleet::{OcsFleet, OcsId};
 use lightwave_ocs::instrument::OcsInstruments;
 use lightwave_telemetry::{CounterId, EventKind, FleetTelemetry, HistogramId};
+use lightwave_trace::{Lane, SpanId, SpanKind, Tracer};
 use lightwave_units::Nanos;
 use std::collections::BTreeMap;
 
@@ -69,6 +70,45 @@ impl FabricInstruments {
     ///
     /// `at` is the simulation time the commit was issued.
     pub fn record_commit(&mut self, sink: &mut FleetTelemetry, at: Nanos, report: &CommitReport) {
+        self.record_commit_impl(sink, at, report, None);
+    }
+
+    /// [`Self::record_commit`] plus a causal span tree: one
+    /// [`SpanKind::FabricCommit`] on the control lane covering
+    /// `at..traffic_ready_at`, with each touched switch's
+    /// [`SpanKind::ReconfigCommit`] (and its four phases) as children.
+    /// Returns the commit span.
+    pub fn record_commit_traced(
+        &mut self,
+        sink: &mut FleetTelemetry,
+        tracer: &mut Tracer,
+        parent: Option<SpanId>,
+        at: Nanos,
+        report: &CommitReport,
+    ) -> SpanId {
+        let commit = tracer.begin(
+            Lane::Control,
+            parent,
+            at,
+            SpanKind::FabricCommit {
+                switches: report.per_switch.len() as u32,
+                added: report.added as u32,
+                removed: report.removed as u32,
+                untouched: report.untouched as u32,
+            },
+        );
+        self.record_commit_impl(sink, at, report, Some((tracer, commit)));
+        tracer.end(commit, report.traffic_ready_at.max(at));
+        commit
+    }
+
+    fn record_commit_impl(
+        &mut self,
+        sink: &mut FleetTelemetry,
+        at: Nanos,
+        report: &CommitReport,
+        mut trace: Option<(&mut Tracer, SpanId)>,
+    ) {
         let h = self.handles(sink);
         sink.metrics.inc(h.commits, at, 1);
         sink.metrics.inc(h.circuits_added, at, report.added as u64);
@@ -101,7 +141,12 @@ impl FabricInstruments {
                 .per_switch
                 .entry(id)
                 .or_insert_with(|| OcsInstruments::register(sink, id));
-            inst.record_reconfig(sink, at, switch_report);
+            match trace.as_mut() {
+                Some((tracer, commit)) => {
+                    inst.record_reconfig_traced(sink, tracer, Some(*commit), at, switch_report);
+                }
+                None => inst.record_reconfig(sink, at, switch_report),
+            }
         }
     }
 
@@ -117,6 +162,23 @@ impl FabricInstruments {
         let report = controller.commit(target)?;
         self.record_commit(sink, at, &report);
         Ok(report)
+    }
+
+    /// [`Self::commit_observed`] with the span tree of
+    /// [`Self::record_commit_traced`]. Failed commits record and trace
+    /// nothing.
+    pub fn commit_observed_traced(
+        &mut self,
+        sink: &mut FleetTelemetry,
+        tracer: &mut Tracer,
+        parent: Option<SpanId>,
+        controller: &mut FabricController,
+        target: &FabricTarget,
+    ) -> Result<(CommitReport, SpanId), CommitError> {
+        let at = fleet_now(&controller.fleet);
+        let report = controller.commit(target)?;
+        let span = self.record_commit_traced(sink, tracer, parent, at, &report);
+        Ok((report, span))
     }
 
     /// Scrapes every switch in the fleet: health gauges, drift census,
@@ -171,6 +233,53 @@ mod tests {
                 ..
             }
         )));
+    }
+
+    #[test]
+    fn traced_commit_builds_the_span_tree() {
+        let mut sink = FleetTelemetry::new();
+        let mut tracer = Tracer::new(99);
+        let mut inst = FabricInstruments::register(&mut sink);
+        let mut c = FabricController::new(OcsFleet::build(2, 17));
+        let mut t = FabricTarget::new();
+        t.set(0, PortMapping::from_pairs([(0, 1), (2, 3)]).unwrap());
+        t.set(1, PortMapping::from_pairs([(5, 6)]).unwrap());
+        let (report, commit) = inst
+            .commit_observed_traced(&mut sink, &mut tracer, None, &mut c, &t)
+            .unwrap();
+        assert_eq!(report.added, 3);
+        assert_eq!(tracer.open_count(), 0, "commit span closed");
+        let spans = tracer.spans();
+        let root = spans.iter().find(|s| s.id == commit).unwrap();
+        assert!(matches!(
+            root.kind,
+            SpanKind::FabricCommit {
+                switches: 2,
+                added: 3,
+                ..
+            }
+        ));
+        let reconfigs: Vec<_> = spans
+            .iter()
+            .filter(|s| matches!(s.kind, SpanKind::ReconfigCommit { .. }))
+            .collect();
+        assert_eq!(reconfigs.len(), 2, "one per touched switch");
+        for r in &reconfigs {
+            assert_eq!(r.parent, Some(commit));
+        }
+        // Both switches added circuits ⇒ both get the 4-phase chain.
+        let phases = spans
+            .iter()
+            .filter(|s| matches!(s.kind, SpanKind::Phase { .. }))
+            .count();
+        assert_eq!(phases, 8);
+        // Metrics recorded exactly once (no double fan-out).
+        assert_eq!(
+            sink.metrics
+                .find("fabric_commits_total", &[])
+                .map(|v| format!("{v:?}")),
+            Some("Counter(1)".to_string())
+        );
     }
 
     #[test]

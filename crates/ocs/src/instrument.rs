@@ -13,6 +13,7 @@ use crate::telemetry::{Alarm, AlarmCode};
 use lightwave_telemetry::{
     AlarmCause, AlarmRecord, CounterId, EventKind, FleetTelemetry, GaugeId, HistogramId,
 };
+use lightwave_trace::{reconfig_phase_spans, Lane, SpanId, SpanKind, Tracer};
 use lightwave_units::{Db, Nanos};
 
 /// Fleet-metric handles for one switch, labeled `{switch=<id>}`.
@@ -85,6 +86,39 @@ impl OcsInstruments {
                 duration,
             },
         );
+    }
+
+    /// [`Self::record_reconfig`] plus a causal span on the switch's
+    /// timeline lane: one [`SpanKind::ReconfigCommit`] covering
+    /// `started..report.ready_at`, with the four reconfiguration phases
+    /// (drain → mirror-settle → camera-verify → undrain) as child spans
+    /// when the delta actually moved mirrors. Returns the commit span so
+    /// callers can hang further causality off it.
+    pub fn record_reconfig_traced(
+        &mut self,
+        sink: &mut FleetTelemetry,
+        tracer: &mut Tracer,
+        parent: Option<SpanId>,
+        started: Nanos,
+        report: &ReconfigReport,
+    ) -> SpanId {
+        self.record_reconfig(sink, started, report);
+        let span = tracer.span(
+            Lane::Switch(self.switch),
+            parent,
+            started,
+            report.ready_at.max(started),
+            SpanKind::ReconfigCommit {
+                switch: self.switch,
+                added: report.added.len() as u32,
+                removed: report.removed.len() as u32,
+                untouched: report.untouched as u32,
+            },
+        );
+        if !report.added.is_empty() {
+            reconfig_phase_spans(tracer, span, self.switch, started, report.ready_at);
+        }
+        span
     }
 
     /// Records a health snapshot: circuit/spare/power gauges plus the

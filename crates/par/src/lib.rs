@@ -58,6 +58,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod instrument;
+
 use lightwave_telemetry::MetricsRegistry;
 use lightwave_units::Nanos;
 use rand::rngs::StdRng;

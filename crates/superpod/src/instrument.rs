@@ -9,9 +9,11 @@
 //! §4.2.2 loop: detect the slow cube, then reconfigure the slice off it.
 
 use crate::collective_sim::SimOutcome;
+use lightwave_fabric::CommitReport;
 use lightwave_telemetry::{
     AlarmCause, AlarmRecord, CounterId, EventKind, FleetTelemetry, HistogramId, Severity,
 };
+use lightwave_trace::{reconfig_phase_spans, Lane, SpanId, SpanKind, Tracer};
 use lightwave_units::Nanos;
 
 /// A phase-time slowdown past this ratio over baseline flags a straggler.
@@ -139,6 +141,96 @@ impl CollectiveInstruments {
         }
         found
     }
+
+    /// [`Self::detect_stragglers`] plus an instant mark per flagged
+    /// dimension on the pod's timeline lane, so the detection moment is
+    /// visible in the Perfetto timeline next to the recovery spans.
+    pub fn detect_stragglers_traced(
+        &mut self,
+        sink: &mut FleetTelemetry,
+        tracer: &mut Tracer,
+        at: Nanos,
+        dims: &[usize],
+        healthy: &SimOutcome,
+        observed: &SimOutcome,
+    ) -> Vec<Straggler> {
+        let found = self.detect_stragglers(sink, at, dims, healthy, observed);
+        for s in &found {
+            tracer.instant(
+                Lane::Pod(self.pod),
+                at,
+                &format!("straggler dim={} +{}%", s.dim, s.slowdown_pct),
+            );
+        }
+        found
+    }
+}
+
+/// Renders a slice composition as a span tree: a
+/// [`SpanKind::SliceCompose`] on the pod's lane covering
+/// `at..traffic_ready_at`, with each touched switch's
+/// [`SpanKind::ReconfigCommit`] — and its drain → settle → verify →
+/// undrain phase chain — as children. Returns the compose span.
+pub fn trace_compose(
+    tracer: &mut Tracer,
+    parent: Option<SpanId>,
+    pod: u32,
+    at: Nanos,
+    cubes: u32,
+    report: &CommitReport,
+) -> SpanId {
+    let kind = SpanKind::SliceCompose {
+        cubes,
+        circuits: report.added as u32,
+    };
+    trace_topology_change(tracer, parent, pod, at, kind, report)
+}
+
+/// Renders a slice release the same way ([`trace_compose`]), as a
+/// [`SpanKind::SliceRelease`] span tree. Returns the release span.
+pub fn trace_release(
+    tracer: &mut Tracer,
+    parent: Option<SpanId>,
+    pod: u32,
+    at: Nanos,
+    cubes: u32,
+    report: &CommitReport,
+) -> SpanId {
+    let kind = SpanKind::SliceRelease {
+        cubes,
+        circuits: report.removed as u32,
+    };
+    trace_topology_change(tracer, parent, pod, at, kind, report)
+}
+
+fn trace_topology_change(
+    tracer: &mut Tracer,
+    parent: Option<SpanId>,
+    pod: u32,
+    at: Nanos,
+    kind: SpanKind,
+    report: &CommitReport,
+) -> SpanId {
+    let span = tracer.begin(Lane::Pod(pod), parent, at, kind);
+    for (&switch, sw) in &report.per_switch {
+        let commit = tracer.span(
+            Lane::Switch(switch),
+            Some(span),
+            at,
+            sw.ready_at.max(at),
+            SpanKind::ReconfigCommit {
+                switch,
+                added: sw.added.len() as u32,
+                removed: sw.removed.len() as u32,
+                untouched: sw.untouched as u32,
+            },
+        );
+        if !sw.added.is_empty() {
+            reconfig_phase_spans(tracer, commit, switch, at, sw.ready_at);
+        }
+    }
+    tracer.end(span, report.traffic_ready_at.max(at));
+    span
 }
 
 #[cfg(test)]

@@ -290,8 +290,16 @@ impl AlarmAggregator {
                 }
                 inc.occurrences += 1;
                 inc.last_at = inc.last_at.max(rec.at);
+                let before = inc.severity;
                 inc.severity = inc.severity.max(rec.severity);
                 self.suppressed += 1;
+                // A Critical record must never vanish into a quieter
+                // incident: absorbing one lifts the incident and reports
+                // Escalated so the event stream (and anything wired to
+                // it, like a flight recorder) sees the severity change.
+                if inc.severity == Severity::Critical && before != Severity::Critical {
+                    return IngestOutcome::Escalated { incident: inc.id };
+                }
                 if inc.occurrences >= self.config.escalate_after
                     && inc.severity.is_worse_than(Severity::Info)
                     && inc.severity != Severity::Critical
@@ -313,8 +321,15 @@ impl AlarmAggregator {
                     if inc.cleared_at.is_none() && since <= self.config.correlation_window {
                         inc.correlated += 1;
                         inc.last_at = inc.last_at.max(rec.at);
+                        let before = inc.severity;
                         inc.severity = inc.severity.max(rec.severity);
                         self.suppressed += 1;
+                        // Same never-drop-Critical rule as the debounce
+                        // branch: a Critical symptom lifting its root
+                        // incident reports Escalated, not a silent absorb.
+                        if inc.severity == Severity::Critical && before != Severity::Critical {
+                            return IngestOutcome::Escalated { incident: inc.id };
+                        }
                         return IngestOutcome::Correlated { incident: inc.id };
                     }
                 }
@@ -500,6 +515,54 @@ mod tests {
         agg.ingest(rec(50, Severity::Warning, 7, AlarmCause::ChassisDown));
         agg.ingest(rec(90, Severity::Info, 7, AlarmCause::ChassisDown));
         assert_eq!(agg.incidents()[0].severity, Severity::Critical);
+    }
+
+    #[test]
+    fn critical_absorbed_into_open_warning_reports_escalated() {
+        // Regression: a Critical record coalesced into an open Warning
+        // incident used to return Coalesced, so no event was published
+        // and a flight recorder wired to the event stream never saw the
+        // incident go Critical — even if it cleared before the next
+        // poll. The absorption must surface as Escalated.
+        let mut agg = AlarmAggregator::new();
+        let first = agg.ingest(rec(0, Severity::Warning, 7, AlarmCause::ChassisDown));
+        assert!(matches!(first, IngestOutcome::Paged { .. }));
+        let lifted = agg.ingest(rec(50, Severity::Critical, 7, AlarmCause::ChassisDown));
+        assert!(
+            matches!(lifted, IngestOutcome::Escalated { .. }),
+            "severity lift to Critical must not be a silent Coalesced, got {lifted:?}"
+        );
+        assert_eq!(agg.incidents()[0].severity, Severity::Critical);
+        assert_eq!(agg.pages(), 1, "escalation reuses the existing page");
+        // A further Critical repeat is already at ceiling: plain coalesce.
+        let repeat = agg.ingest(rec(90, Severity::Critical, 7, AlarmCause::ChassisDown));
+        assert!(matches!(repeat, IngestOutcome::Coalesced { .. }));
+    }
+
+    #[test]
+    fn critical_symptom_correlated_into_warning_root_reports_escalated() {
+        // Same never-drop-Critical rule on the blast-radius path: a
+        // Critical symptom folded into its Warning root incident must
+        // report Escalated, not a silent Correlated.
+        let mut agg = AlarmAggregator::new();
+        agg.ingest(rec(
+            0,
+            Severity::Warning,
+            3,
+            AlarmCause::FruFailed { slot: 6 },
+        ));
+        let out = agg.ingest(rec(
+            1,
+            Severity::Critical,
+            3,
+            AlarmCause::AlignmentTimeout { north: 0 },
+        ));
+        assert!(
+            matches!(out, IngestOutcome::Escalated { .. }),
+            "Critical symptom must escalate its root incident, got {out:?}"
+        );
+        assert_eq!(agg.incidents()[0].severity, Severity::Critical);
+        assert_eq!(agg.pages(), 1);
     }
 
     #[test]

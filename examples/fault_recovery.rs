@@ -10,14 +10,19 @@
 //! OCS mirror fails mid-flight and is healed from on-die spares.
 
 use lightwave::prelude::*;
+use lightwave::superpod::instrument::trace_compose;
 use lightwave::superpod::Slice;
+use lightwave::trace::{to_chrome_trace, Lane, SpanKind};
 
 fn main() {
     println!("=== fault recovery on a lightwave fabric ===\n");
     let mut pod = MlPod::new(11);
+    let mut tracer = Tracer::new(11);
 
     // A 1024-chip job on 16 cubes.
-    let placement = pod.place_model(&LlmConfig::llm1(), 1024).expect("fits");
+    let (placement, place_span) = pod
+        .place_model_traced(&mut tracer, None, &LlmConfig::llm1(), 1024)
+        .expect("fits");
     pod.advance(Nanos::from_millis(300));
     let shape = placement.plan.shape;
     println!(
@@ -31,10 +36,21 @@ fn main() {
     let victim = pod.pod.slice(placement.handle).expect("live").cubes[3];
     println!("\ncube {victim} loses a host — marking failed");
     pod.pod.mark_cube_failed(victim);
+    let recovery = tracer.begin(
+        Lane::Pod(0),
+        None,
+        pod.now(),
+        SpanKind::FaultRecovery {
+            what: "cube-swap".to_string(),
+        },
+    );
+    tracer.link_follows(recovery, place_span);
 
     // Recompose on a spare: same shape, same cubes except the victim.
     let old = pod.pod.slice(placement.handle).expect("live").clone();
-    pod.release(placement.handle).expect("live");
+    let release_span = pod
+        .release_traced(&mut tracer, Some(recovery), placement.handle)
+        .expect("live");
     let spare = pod
         .pod
         .idle_cubes()
@@ -46,10 +62,21 @@ fn main() {
         .iter()
         .map(|&c| if c == victim { spare } else { c })
         .collect();
+    let at = pod.now();
     let (h2, report) = pod
         .pod
         .compose(Slice::new(old.shape, cubes).expect("valid"))
         .expect("spare composition");
+    let swap_span = trace_compose(
+        &mut tracer,
+        Some(recovery),
+        0,
+        at,
+        old.shape.cube_count() as u32,
+        &report,
+    );
+    tracer.link_follows(swap_span, release_span);
+    tracer.end(recovery, report.traffic_ready_at.max(at));
     println!(
         "recomposed with spare cube {spare}: {} circuits re-wired, ready at {}",
         report.added, report.traffic_ready_at
@@ -82,5 +109,15 @@ fn main() {
     }
 
     let _ = h2;
+
+    // The whole recovery is on the trace timeline too.
+    let trace = to_chrome_trace(&tracer);
+    std::fs::create_dir_all("target/trace").expect("create output directory");
+    std::fs::write("target/trace/fault_recovery_trace.json", &trace).expect("write trace");
+    println!(
+        "\nwrote target/trace/fault_recovery_trace.json ({} spans — open at ui.perfetto.dev)",
+        tracer.spans().len()
+    );
+
     println!("\ndone: both failures healed without touching other slices");
 }
