@@ -1,0 +1,529 @@
+//! The invariant-checking executor: drives the *real* control plane
+//! (ocs → fabric → scheduler → superpod → telemetry → trace) through a
+//! [`FaultSchedule`], re-checking the invariant library after every
+//! event.
+//!
+//! The executor itself draws no randomness — a schedule's execution is a
+//! pure function of its event list plus the world seed derived from
+//! `(seed, index)` — which is what makes delta-debugging sound: dropping
+//! events never perturbs the behavior of the events that remain.
+
+use crate::invariant::{check_all, Violation};
+use crate::schedule::{FaultKind, FaultSchedule};
+use lightwave_fabric::maintenance::{execute, plan_replacement};
+use lightwave_fabric::OcsId;
+use lightwave_ocs::instrument::OcsInstruments;
+use lightwave_ocs::PortId;
+use lightwave_scheduler::alloc::{Allocator, Pooled};
+use lightwave_superpod::instrument::{trace_compose, trace_release};
+use lightwave_superpod::pod::{SliceHandle, Superpod};
+use lightwave_superpod::slice::{Slice, SliceShape};
+use lightwave_superpod::wiring::SUPERPOD_OCS_COUNT;
+use lightwave_telemetry::{AlarmCause, AlarmRecord, FleetTelemetry, Severity};
+use lightwave_trace::{FlightRecorder, Tracer};
+use lightwave_units::Nanos;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Test-only defects the harness can plant in its own control-plane
+/// driver, so the invariant library and the shrinker can be validated
+/// against *known* violations without breaking the product code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InjectedBug {
+    /// Never revoke traffic admission when a fault de-verifies a live
+    /// circuit — invariant (a) must catch it.
+    SkipAdmissionRevoke,
+    /// Never poll the flight recorder — invariant (c) must catch the
+    /// first Critical incident without a dump.
+    SkipFlightPoll,
+}
+
+/// Executor configuration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosConfig {
+    /// Test-only planted defect (`None` = honest control plane).
+    pub inject: Option<InjectedBug>,
+}
+
+/// One slice the executor is tracking, with its admission state — the
+/// harness's model of "is traffic allowed on these links right now".
+#[derive(Debug)]
+pub struct LiveSlice {
+    /// Pod handle.
+    pub handle: SliceHandle,
+    /// The slice geometry (kept locally: invariants re-derive expected
+    /// port mappings from it, independent of the pod's own bookkeeping).
+    pub slice: Slice,
+    /// When the composing transaction promised traffic readiness.
+    pub traffic_ready_at: Nanos,
+    /// Whether traffic is currently admitted.
+    pub admitted: bool,
+}
+
+/// The executor's shadow of one switch's chassis, fed *only* by the
+/// schedule's FRU events — the independent timeline invariant (d)
+/// reconciles the SLO tracker against.
+#[derive(Debug, Clone)]
+pub struct SwitchModel {
+    slots: [bool; 16],
+    down_since: Option<Nanos>,
+    downtime: Nanos,
+}
+
+impl SwitchModel {
+    fn new() -> SwitchModel {
+        SwitchModel {
+            slots: [true; 16],
+            down_since: None,
+            downtime: Nanos(0),
+        }
+    }
+
+    /// `Chassis::is_operational`, re-derived: ≥1 PSU (slots 0–1), ≥3 fans
+    /// (2–5), CPU (14) and FPGA (15) healthy.
+    fn operational(&self) -> bool {
+        let healthy = |r: std::ops::Range<usize>| self.slots[r].iter().filter(|h| **h).count();
+        healthy(0..2) >= 1 && healthy(2..6) >= 3 && self.slots[14] && self.slots[15]
+    }
+
+    fn apply(&mut self, now: Nanos, slot: usize, healthy: bool) {
+        let was = self.operational();
+        self.slots[slot] = healthy;
+        match (was, self.operational()) {
+            (true, false) => self.down_since = Some(now),
+            (false, true) => {
+                if let Some(t0) = self.down_since.take() {
+                    self.downtime += now.saturating_sub(t0);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Cumulative downtime implied by the fault timeline as of `now`.
+    pub fn downtime_at(&self, now: Nanos) -> Nanos {
+        self.downtime
+            + self
+                .down_since
+                .map(|t0| now.saturating_sub(t0))
+                .unwrap_or(Nanos(0))
+    }
+}
+
+/// The full system under test plus the harness's independent models.
+#[derive(Debug)]
+pub struct World {
+    /// The real control plane.
+    pub pod: Superpod,
+    /// The real observability stack.
+    pub telemetry: FleetTelemetry,
+    /// The real tracing stack.
+    pub tracer: Tracer,
+    /// The real flight recorder.
+    pub recorder: FlightRecorder,
+    /// Live slices with admission state.
+    pub slices: Vec<LiveSlice>,
+    /// Up switches whose mapping is reconciled with the slice union.
+    pub synced: BTreeSet<OcsId>,
+    /// Per-switch fault-timeline shadows for invariant (d).
+    pub models: BTreeMap<OcsId, SwitchModel>,
+    /// Set when the event itself did something illegal (release of a
+    /// live slice rejected).
+    pub action_violation: Option<String>,
+    insts: BTreeMap<OcsId, OcsInstruments>,
+    cfg: ChaosConfig,
+    now: Nanos,
+    composes: u32,
+    releases: u32,
+    rejected: u32,
+}
+
+/// What one schedule's execution did.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleOutcome {
+    /// Schedule index within its hunt.
+    pub index: u64,
+    /// Events applied (stops at the first violation).
+    pub events_applied: u32,
+    /// Successful slice compositions.
+    pub composes: u32,
+    /// Successful releases (including preemptions).
+    pub releases: u32,
+    /// Operations legitimately rejected (no idle cubes, degraded ports).
+    pub rejected: u32,
+    /// Raw alarms ingested by the fleet aggregator.
+    pub alarms: u64,
+    /// Flight-recorder dumps taken (== Critical incidents, or invariant
+    /// (c) would have fired).
+    pub critical_dumps: u32,
+    /// The first invariant violation, if any.
+    pub violation: Option<Violation>,
+}
+
+impl World {
+    /// Builds the system under test for one schedule. The world seed —
+    /// switch manufacturing and span ids — is `splitmix(seed, index)`,
+    /// the same stream selector as the schedule generator, so a repro
+    /// needs nothing beyond `(seed, index, events)`.
+    pub fn new(seed: u64, index: u64) -> World {
+        let world_seed = lightwave_par::splitmix(seed, index);
+        let mut telemetry = FleetTelemetry::new();
+        let mut insts = BTreeMap::new();
+        let mut models = BTreeMap::new();
+        for id in 0..SUPERPOD_OCS_COUNT as OcsId {
+            insts.insert(id, OcsInstruments::register(&mut telemetry, id));
+            models.insert(id, SwitchModel::new());
+        }
+        World {
+            pod: Superpod::new(world_seed),
+            telemetry,
+            tracer: Tracer::new(world_seed),
+            recorder: FlightRecorder::new(256),
+            slices: Vec::new(),
+            synced: (0..SUPERPOD_OCS_COUNT as OcsId).collect(),
+            models,
+            action_violation: None,
+            insts,
+            cfg: ChaosConfig::default(),
+            now: Nanos(0),
+            composes: 0,
+            releases: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Current simulation time (advanced only by [`FaultKind::Advance`]).
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    fn shape_for(cubes: u8) -> SliceShape {
+        let (a, b, c) = match cubes {
+            1 => (4, 4, 4),
+            2 => (8, 4, 4),
+            4 => (8, 8, 4),
+            _ => (8, 8, 8),
+        };
+        SliceShape::new(a, b, c).expect("menu shapes are valid")
+    }
+
+    fn compose(&mut self, cubes: u8) {
+        let shape = Self::shape_for(cubes);
+        let idle: BTreeSet<_> = self.pod.idle_cubes().into_iter().collect();
+        let picked = match Pooled.allocate(shape, &idle) {
+            Some(p) => p,
+            None => {
+                self.rejected += 1;
+                return;
+            }
+        };
+        let slice = Slice::new(shape, picked).expect("allocator returned a valid cube set");
+        let geometry = slice.clone();
+        match self.pod.compose(slice) {
+            Ok((handle, report)) => {
+                trace_compose(&mut self.tracer, None, 0, self.now, cubes as u32, &report);
+                self.slices.push(LiveSlice {
+                    handle,
+                    slice: geometry,
+                    traffic_ready_at: report.traffic_ready_at,
+                    admitted: false,
+                });
+                self.composes += 1;
+            }
+            Err(_) => self.rejected += 1,
+        }
+    }
+
+    fn release_at(&mut self, i: usize) {
+        let ls = &self.slices[i];
+        let cubes = ls.slice.cubes.len() as u32;
+        match self.pod.release(ls.handle) {
+            Ok(report) => {
+                trace_release(&mut self.tracer, None, 0, self.now, cubes, &report);
+                self.slices.remove(i);
+                self.releases += 1;
+            }
+            Err(e) => {
+                // A live slice the control plane cannot free is a
+                // capacity leak — this is invariant (f), not a
+                // legitimate rejection.
+                self.action_violation =
+                    Some(format!("release of slice {} rejected: {e}", ls.handle.0));
+            }
+        }
+    }
+
+    fn fru_event(&mut self, ocs: OcsId, slot: usize, heal: bool, maintenance: bool) {
+        if maintenance {
+            let plan = match plan_replacement(&self.pod.fabric().fleet, ocs, slot) {
+                Ok(p) => p,
+                Err(_) => return,
+            };
+            execute(&mut self.pod.fabric_mut().fleet, &plan).expect("planned switch exists");
+            // Fail + replace at one timestamp: the shadow nets zero
+            // downtime, exactly what the SLO must account.
+            let model = self.models.get_mut(&ocs).expect("modeled switch");
+            model.apply(self.now, slot, false);
+            model.apply(self.now, slot, true);
+        } else {
+            let sw = self
+                .pod
+                .fabric_mut()
+                .fleet
+                .get_mut(ocs)
+                .expect("generator stays in range");
+            if heal {
+                sw.replace_fru(slot);
+            } else {
+                sw.fail_fru(slot);
+            }
+            self.models
+                .get_mut(&ocs)
+                .expect("modeled switch")
+                .apply(self.now, slot, heal);
+        }
+        // Anti-entropy: a revived switch reconciles its stale mapping.
+        let reports = self.pod.resync();
+        for (id, result) in reports {
+            if let Ok(report) = result {
+                let inst = self.insts.get_mut(&id).expect("registered switch");
+                inst.record_reconfig_traced(
+                    &mut self.telemetry,
+                    &mut self.tracer,
+                    None,
+                    self.now,
+                    &report,
+                );
+            }
+        }
+    }
+
+    fn verify_reject(&mut self, ocs: OcsId) {
+        let sw = match self.pod.fabric().fleet.get(ocs) {
+            Some(s) if s.is_up() => s,
+            _ => return,
+        };
+        let degraded = sw.health().degraded_ports;
+        let target = sw.mapping().pairs().find(|&(n, s)| {
+            !sw.circuit_ready(n) && !degraded.contains(&n) && !degraded.contains(&s)
+        });
+        if let Some((n, s)) = target {
+            let sw = self.pod.fabric_mut().fleet.get_mut(ocs).expect("present");
+            sw.disconnect(n).expect("circuit exists");
+            sw.connect(n, s).expect("ports were just freed and usable");
+        }
+    }
+
+    fn link_alarm(&mut self, ocs: OcsId, port: u32) {
+        self.telemetry.ingest_alarm(AlarmRecord {
+            at: self.now,
+            severity: Severity::Warning,
+            switch: ocs,
+            cause: AlarmCause::RateFallback { port },
+        });
+    }
+
+    fn apply(&mut self, ev: FaultKind) {
+        self.action_violation = None;
+        match ev {
+            FaultKind::Compose { cubes } => self.compose(cubes),
+            FaultKind::Release { nth } => {
+                if !self.slices.is_empty() {
+                    let i = nth as usize % self.slices.len();
+                    self.release_at(i);
+                }
+            }
+            FaultKind::Preempt => {
+                if !self.slices.is_empty() {
+                    self.release_at(self.slices.len() - 1);
+                }
+            }
+            FaultKind::Advance { millis } => {
+                let dt = Nanos::from_millis(millis as u64);
+                self.pod.advance(dt);
+                self.now += dt;
+            }
+            FaultKind::FailFru { ocs, slot } => {
+                self.fru_event(ocs as OcsId, slot as usize, false, false)
+            }
+            FaultKind::ReplaceFru { ocs, slot } => {
+                self.fru_event(ocs as OcsId, slot as usize, true, false)
+            }
+            FaultKind::Maintenance { ocs, slot } => {
+                self.fru_event(ocs as OcsId, slot as usize, false, true)
+            }
+            FaultKind::FailMirror { ocs, north, port } => {
+                if let Some(sw) = self.pod.fabric_mut().fleet.get_mut(ocs as OcsId) {
+                    sw.fail_mirror(north, port as PortId);
+                }
+            }
+            FaultKind::VerifyReject { ocs } => self.verify_reject(ocs as OcsId),
+            FaultKind::LinkFlap { ocs, port } => self.link_alarm(ocs as OcsId, port as u32),
+            FaultKind::RelockStorm { ocs, ports } => {
+                for p in 0..ports {
+                    self.link_alarm(ocs as OcsId, p as u32);
+                }
+            }
+        }
+        self.observe();
+    }
+
+    /// The control-plane housekeeping a production fleet runs
+    /// continuously: health/SLO scrape, alarm forwarding, incident
+    /// aging, admission control, flight-recorder polling.
+    fn observe(&mut self) {
+        let now = self.now;
+        for (&id, sw) in self.pod.fabric().fleet.iter() {
+            let inst = self.insts.get_mut(&id).expect("registered switch");
+            inst.record_health(&mut self.telemetry, now, &sw.health());
+            // Deliberately no drift census here: it is O(ports) per
+            // switch per event and irrelevant to the invariants.
+            inst.forward_alarms(&mut self.telemetry, sw);
+        }
+        self.telemetry.advance(now);
+        self.update_admission();
+        if self.cfg.inject != Some(InjectedBug::SkipFlightPoll) {
+            self.recorder.poll(&self.tracer, &self.telemetry);
+        }
+        self.synced = self
+            .pod
+            .fabric()
+            .fleet
+            .iter()
+            .filter(|(id, sw)| sw.is_up() && !self.pod.desynced().contains(id))
+            .map(|(&id, _)| id)
+            .collect();
+    }
+
+    fn update_admission(&mut self) {
+        let fleet = &self.pod.fabric().fleet;
+        let synced_up = |id: OcsId| {
+            fleet.get(id).map(|s| s.is_up()).unwrap_or(false) && !self.pod.desynced().contains(&id)
+        };
+        for ls in &mut self.slices {
+            let verified = ls.slice.required_hops().iter().all(|hop| {
+                hop.circuits().all(|c| {
+                    !synced_up(c.ocs) || fleet.get(c.ocs).expect("present").circuit_ready(c.north)
+                })
+            });
+            if verified && self.now >= ls.traffic_ready_at {
+                ls.admitted = true;
+            } else if !verified && self.cfg.inject != Some(InjectedBug::SkipAdmissionRevoke) {
+                ls.admitted = false;
+            }
+        }
+    }
+}
+
+/// Runs one schedule to completion or first violation.
+pub fn run_schedule(schedule: &FaultSchedule, cfg: &ChaosConfig) -> ScheduleOutcome {
+    run_schedule_world(schedule, cfg).0
+}
+
+/// [`run_schedule`], also returning the final world so callers can
+/// export its trace, telemetry, and flight dumps.
+pub fn run_schedule_world(schedule: &FaultSchedule, cfg: &ChaosConfig) -> (ScheduleOutcome, World) {
+    let mut w = World::new(schedule.seed, schedule.index);
+    w.cfg = *cfg;
+    let mut violation = None;
+    let mut applied = 0u32;
+    for (i, &ev) in schedule.events.iter().enumerate() {
+        w.apply(ev);
+        applied += 1;
+        if let Some(v) = check_all(&w, i as u32, ev) {
+            violation = Some(v);
+            break;
+        }
+    }
+    let outcome = ScheduleOutcome {
+        index: schedule.index,
+        events_applied: applied,
+        composes: w.composes,
+        releases: w.releases,
+        rejected: w.rejected,
+        alarms: w.telemetry.alarms.ingested(),
+        critical_dumps: w.recorder.dumps().len() as u32,
+        violation,
+    };
+    (outcome, w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_schedule_runs_violation_free() {
+        let s = FaultSchedule::generate(11, 0);
+        let out = run_schedule(&s, &ChaosConfig::default());
+        assert_eq!(out.events_applied as usize, s.events.len());
+        assert!(out.violation.is_none(), "violation: {:?}", out.violation);
+        assert!(out.composes >= 1, "schedules always open with a compose");
+    }
+
+    #[test]
+    fn execution_is_a_pure_function_of_the_schedule() {
+        let s = FaultSchedule::generate(11, 3);
+        let a = run_schedule(&s, &ChaosConfig::default());
+        let b = run_schedule(&s, &ChaosConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn skipped_flight_poll_is_caught_on_first_critical() {
+        // A 10-port relock storm escalates its Link incident to Critical;
+        // with the poll skipped, invariant (c) must fire.
+        let s = FaultSchedule {
+            seed: 1,
+            index: 0,
+            events: vec![
+                FaultKind::Compose { cubes: 1 },
+                FaultKind::RelockStorm { ocs: 3, ports: 12 },
+            ],
+        };
+        let cfg = ChaosConfig {
+            inject: Some(InjectedBug::SkipFlightPoll),
+        };
+        let out = run_schedule(&s, &cfg);
+        let v = out.violation.expect("planted bug must be caught");
+        assert_eq!(
+            v.invariant,
+            crate::invariant::InvariantKind::CriticalWithoutDump
+        );
+        // The honest control plane passes the same schedule.
+        assert!(run_schedule(&s, &ChaosConfig::default())
+            .violation
+            .is_none());
+    }
+
+    #[test]
+    fn skipped_admission_revoke_is_caught() {
+        // Compose, settle + admit, then a mirror fault de-verifies a live
+        // circuit; with revocation skipped, invariant (a) must fire.
+        let s = FaultSchedule {
+            seed: 1,
+            index: 1,
+            events: vec![
+                FaultKind::Compose { cubes: 1 },
+                FaultKind::Advance { millis: 400 },
+                FaultKind::FailMirror {
+                    ocs: 0,
+                    north: true,
+                    port: 0,
+                },
+            ],
+        };
+        let cfg = ChaosConfig {
+            inject: Some(InjectedBug::SkipAdmissionRevoke),
+        };
+        let out = run_schedule(&s, &cfg);
+        let v = out.violation.expect("planted bug must be caught");
+        assert_eq!(
+            v.invariant,
+            crate::invariant::InvariantKind::TrafficOnUnverifiedLink
+        );
+        assert!(run_schedule(&s, &ChaosConfig::default())
+            .violation
+            .is_none());
+    }
+}

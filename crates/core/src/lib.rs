@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub use lightwave_availability as availability;
+pub use lightwave_chaos as chaos;
 pub use lightwave_dcn as dcn;
 pub use lightwave_fabric as fabric;
 pub use lightwave_fec as fec;

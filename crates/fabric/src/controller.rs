@@ -10,7 +10,7 @@
 //! isolation requirement, §2.3), and the report proves it.
 
 use crate::fleet::{OcsFleet, OcsId};
-use lightwave_ocs::{OcsError, PortMapping, ReconfigReport};
+use lightwave_ocs::{OcsError, PortId, PortMapping, ReconfigReport};
 use lightwave_transceiver::bringup::LinkBringup;
 use lightwave_units::Nanos;
 use serde::{Deserialize, Serialize};
@@ -116,15 +116,25 @@ impl FabricController {
                 });
             }
             let mapping = target.get(id).expect("iterating declared switches");
-            // Dry-run the per-port checks the switch will make.
+            // Dry-run the per-port checks the switch will make — but only
+            // for circuits the delta will actually (re)establish. A port
+            // that degraded *under* a running circuit must not veto
+            // transactions that leave that circuit alone: tearing it down
+            // would turn a degradation into an outage, and rejecting the
+            // transaction would wedge the whole switch.
+            let current: BTreeMap<PortId, PortId> = ocs.mapping().pairs().collect();
+            let degraded = ocs.health().degraded_ports;
             for (n, s) in mapping.pairs() {
-                if ocs.health().degraded_ports.contains(&n) {
+                if current.get(&n) == Some(&s) {
+                    continue; // untouched circuit: never re-checked
+                }
+                if degraded.contains(&n) {
                     return Err(CommitError::Invalid {
                         ocs: id,
                         error: OcsError::PortDegraded(n),
                     });
                 }
-                if ocs.health().degraded_ports.contains(&s) {
+                if degraded.contains(&s) {
                     return Err(CommitError::Invalid {
                         ocs: id,
                         error: OcsError::PortDegraded(s),
@@ -262,6 +272,34 @@ mod tests {
         let ocs = c.fleet.get(0).unwrap();
         assert!(ocs.circuit_ready(0) && ocs.circuit_ready(1));
         assert!(!ocs.circuit_ready(2));
+    }
+
+    #[test]
+    fn degraded_port_under_running_circuit_does_not_wedge_the_switch() {
+        let mut c = controller(1);
+        let mut t1 = FabricTarget::new();
+        t1.set(0, PortMapping::from_pairs([(0, 10), (40, 50)]).unwrap());
+        c.commit(&t1).unwrap();
+        c.advance(Nanos::from_millis(300));
+        // HV driver 0 (ports 0..34) fails under the live (0, 10) circuit.
+        c.fleet.get_mut(0).unwrap().fail_fru(6);
+        // Removing the *other* circuit must still commit: (0, 10) is
+        // untouched, so its degraded ports are not re-checked (pre-fix,
+        // every transaction on this switch was rejected forever).
+        let mut t2 = FabricTarget::new();
+        t2.set(0, PortMapping::from_pairs([(0, 10)]).unwrap());
+        let report = c.commit(&t2).unwrap();
+        assert_eq!(report.removed, 1);
+        assert_eq!(report.untouched, 1);
+        // Establishing a new circuit on the degraded group still rejects.
+        let mut t3 = FabricTarget::new();
+        t3.set(0, PortMapping::from_pairs([(0, 10), (1, 11)]).unwrap());
+        match c.commit(&t3).unwrap_err() {
+            CommitError::Invalid { ocs: 0, error } => {
+                assert_eq!(error, OcsError::PortDegraded(1))
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
     }
 
     #[test]

@@ -222,11 +222,16 @@ impl PalomarOcs {
             return Err(OcsError::ChassisDown);
         }
         self.crossbar.validate(target)?;
-        for (n, s) in target.pairs() {
+        // Port-usability applies to the delta, not the whole target:
+        // circuits already carrying on a since-degraded port stay as they
+        // are (tearing them down would turn the degradation into an
+        // outage) — only circuits the delta must (re)establish need
+        // healthy drive on both ports.
+        let delta = self.crossbar.delta_to(target);
+        for &(n, s) in &delta.add {
             self.check_usable(n)?;
             self.check_usable(s)?;
         }
-        let delta = self.crossbar.delta_to(target);
         for &n in &delta.remove {
             self.crossbar.disconnect(n)?;
             self.pending.remove(&n);

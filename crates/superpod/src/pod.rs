@@ -14,7 +14,7 @@ use crate::wiring::{CubeHop, SUPERPOD_OCS_COUNT};
 use lightwave_fabric::{
     CommitError, CommitReport, FabricController, FabricTarget, OcsFleet, OcsId,
 };
-use lightwave_ocs::PortMapping;
+use lightwave_ocs::{PortMapping, ReconfigReport};
 use lightwave_units::Nanos;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -61,6 +61,11 @@ pub struct Superpod {
     fabric: FabricController,
     slices: BTreeMap<SliceHandle, Slice>,
     failed_cubes: BTreeSet<CubeId>,
+    /// Switches that missed a committed transaction (down at the time)
+    /// and still carry a stale mapping. Excluded from new transactions
+    /// until [`Superpod::resync`] reconciles them — a down switch must
+    /// degrade slices (§4.2.2), never block compose/release pod-wide.
+    desynced: BTreeSet<OcsId>,
     next_handle: u64,
 }
 
@@ -71,6 +76,7 @@ impl Superpod {
             fabric: FabricController::new(OcsFleet::build(SUPERPOD_OCS_COUNT, seed)),
             slices: BTreeMap::new(),
             failed_cubes: BTreeSet::new(),
+            desynced: BTreeSet::new(),
             next_handle: 1,
         }
     }
@@ -132,25 +138,83 @@ impl Superpod {
             .map(|(&h, _)| h)
     }
 
-    /// The fabric target realizing all slices in `slices`.
-    fn target_for(slices: &BTreeMap<SliceHandle, Slice>) -> FabricTarget {
-        let mut per_ocs: BTreeMap<OcsId, Vec<(u16, u16)>> = BTreeMap::new();
+    /// The desired mapping of one switch under the slice set `slices`.
+    fn desired_mapping(slices: &BTreeMap<SliceHandle, Slice>, ocs: OcsId) -> PortMapping {
+        let mut pairs: Vec<(u16, u16)> = Vec::new();
         for slice in slices.values() {
             for hop in slice.required_hops() {
                 let CubeHop { .. } = hop;
                 for c in hop.circuits() {
-                    per_ocs.entry(c.ocs).or_default().push((c.north, c.south));
+                    if c.ocs == ocs {
+                        pairs.push((c.north, c.south));
+                    }
                 }
             }
         }
+        PortMapping::from_pairs(pairs).expect("disjoint slices produce disjoint port sets")
+    }
+
+    /// The fabric target realizing all slices in `slices`, restricted to
+    /// switches that can take it: down and desynced switches are skipped
+    /// (returned separately) so one failed chassis cannot veto pod-wide
+    /// transactions.
+    fn target_for(&self, slices: &BTreeMap<SliceHandle, Slice>) -> (FabricTarget, BTreeSet<OcsId>) {
         let mut target = FabricTarget::new();
+        let mut skipped = BTreeSet::new();
         for ocs in 0..SUPERPOD_OCS_COUNT as OcsId {
-            let pairs = per_ocs.remove(&ocs).unwrap_or_default();
-            let mapping =
-                PortMapping::from_pairs(pairs).expect("disjoint slices produce disjoint port sets");
-            target.set(ocs, mapping);
+            let up = self
+                .fabric
+                .fleet
+                .get(ocs)
+                .map(|s| s.is_up())
+                .unwrap_or(false);
+            if !up || self.desynced.contains(&ocs) {
+                skipped.insert(ocs);
+                continue;
+            }
+            target.set(ocs, Self::desired_mapping(slices, ocs));
         }
-        target
+        (target, skipped)
+    }
+
+    /// Switches carrying a stale mapping (they were down during one or
+    /// more committed transactions). [`Superpod::resync`] reconciles.
+    pub fn desynced(&self) -> &BTreeSet<OcsId> {
+        &self.desynced
+    }
+
+    /// Anti-entropy: re-applies the desired state to every desynced
+    /// switch that is back up, one single-switch transaction each so a
+    /// still-broken switch cannot hold the others hostage. Successfully
+    /// reconciled switches rejoin future transactions; failures stay
+    /// desynced and are reported.
+    pub fn resync(&mut self) -> Vec<(OcsId, Result<ReconfigReport, CommitError>)> {
+        let mut out = Vec::new();
+        for ocs in self.desynced.clone() {
+            let up = self
+                .fabric
+                .fleet
+                .get(ocs)
+                .map(|s| s.is_up())
+                .unwrap_or(false);
+            if !up {
+                continue;
+            }
+            let mut target = FabricTarget::new();
+            target.set(ocs, Self::desired_mapping(&self.slices, ocs));
+            match self.fabric.commit(&target) {
+                Ok(mut report) => {
+                    self.desynced.remove(&ocs);
+                    let per = report
+                        .per_switch
+                        .remove(&ocs)
+                        .expect("single-switch commit reports its switch");
+                    out.push((ocs, Ok(per)));
+                }
+                Err(e) => out.push((ocs, Err(e))),
+            }
+        }
+        out
     }
 
     /// Composes a slice: validates cube availability, commits the fabric
@@ -172,10 +236,11 @@ impl Superpod {
         let handle = SliceHandle(self.next_handle);
         let mut proposed = self.slices.clone();
         proposed.insert(handle, slice);
-        let target = Self::target_for(&proposed);
+        let (target, skipped) = self.target_for(&proposed);
         let report = self.fabric.commit(&target)?;
         self.next_handle += 1;
         self.slices = proposed;
+        self.desynced.extend(skipped);
         Ok((handle, report))
     }
 
@@ -186,9 +251,10 @@ impl Superpod {
         }
         let mut proposed = self.slices.clone();
         proposed.remove(&h);
-        let target = Self::target_for(&proposed);
+        let (target, skipped) = self.target_for(&proposed);
         let report = self.fabric.commit(&target)?;
         self.slices = proposed;
+        self.desynced.extend(skipped);
         Ok(report)
     }
 
@@ -396,6 +462,34 @@ mod tests {
         let report = pod.degradation_report();
         let multi = report.iter().find(|d| d.handle == h_multi).unwrap();
         assert!((multi.worst_dim_loss - 2.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn down_switch_never_blocks_transactions_and_resyncs() {
+        let mut pod = Superpod::new(9);
+        let (h1, _) = pod.compose(slice_of(vec![0, 1], 8, 4, 4)).unwrap();
+        pod.advance(Nanos::from_millis(300));
+        // OCS 5 loses its control CPU: chassis down.
+        pod.fabric_mut().fleet.get_mut(5).unwrap().fail_fru(14);
+        // Transactions proceed around the dark switch: compose a second
+        // slice and release the first (the pre-fix control plane rejected
+        // both with ChassisDown, leaking the released slice's capacity).
+        let (h2, report) = pod.compose(slice_of(vec![2, 3], 8, 4, 4)).unwrap();
+        assert!(!report.per_switch.contains_key(&5), "down switch skipped");
+        pod.release(h1).unwrap();
+        assert!(pod.desynced().contains(&5), "missed transactions recorded");
+        // Repair + anti-entropy: switch 5 converges on the live state.
+        pod.fabric_mut().fleet.get_mut(5).unwrap().replace_fru(14);
+        let reports = pod.resync();
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].1.is_ok());
+        assert!(pod.desynced().is_empty());
+        pod.advance(Nanos::from_millis(300));
+        // Switch 5 (dimension X) now carries exactly slice 2's X-ring.
+        let mapping = pod.fabric().fleet.get(5).unwrap().mapping();
+        let pairs: Vec<_> = mapping.pairs().collect();
+        assert_eq!(pairs, vec![(2, 3), (3, 2)]);
+        assert!(pod.slice(h2).is_some());
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Property tests for the N-dimensional torus link allocator: compose /
+//! release over arbitrary sub-blocks must never double-allocate a link
+//! and must restore the free-link set exactly.
+
+use lightwave_superpod::torus_nd::{NdAllocError, NdLease, NdLink, NdLinkAllocator, TorusNd};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn arbitrary_torus() -> impl Strategy<Value = TorusNd> {
+    (1usize..=4, proptest::collection::vec(2usize..=5, 4))
+        .prop_map(|(n, sizes)| TorusNd::new(sizes[..n].to_vec()))
+}
+
+/// A sequence of (origin-seed, extent-seed, release?) operations; seeds
+/// are reduced modulo the torus dims so every draw is meaningful.
+fn arbitrary_ops() -> impl Strategy<Value = Vec<(usize, usize, bool)>> {
+    proptest::collection::vec((0usize..1000, 0usize..1000, any::<bool>()), 1..20)
+}
+
+fn decode_block(t: &TorusNd, origin_seed: usize, extent_seed: usize) -> (Vec<usize>, Vec<usize>) {
+    let mut origin = Vec::new();
+    let mut extent = Vec::new();
+    let (mut o, mut e) = (origin_seed, extent_seed);
+    for &d in t.dims() {
+        origin.push(o % d);
+        extent.push(1 + e % d);
+        o /= 3;
+        e /= 3;
+    }
+    (origin, extent)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Drive an arbitrary compose/release workload. Throughout: live
+    /// leases hold disjoint link sets, free + leased is a partition of
+    /// the fabric, and when everything is released the free set is
+    /// byte-identical to the initial one.
+    #[test]
+    fn compose_release_preserves_the_link_partition(
+        torus in arbitrary_torus(),
+        ops in arbitrary_ops(),
+    ) {
+        let mut a = NdLinkAllocator::new(torus.clone());
+        let initial = a.free_set().clone();
+        let capacity = a.capacity();
+        let mut live: Vec<(NdLease, BTreeSet<NdLink>)> = Vec::new();
+
+        for (o_seed, e_seed, do_release) in ops {
+            if do_release && !live.is_empty() {
+                let (lease, links) = live.remove(o_seed % live.len());
+                prop_assert_eq!(a.release(lease).expect("live lease releases"), links.len());
+                for l in &links {
+                    prop_assert!(a.free_set().contains(l), "released link is free again");
+                }
+            } else {
+                let (origin, extent) = decode_block(&torus, o_seed, e_seed);
+                let req = a.block_request(&origin, &extent).expect("in-range block");
+                let free_before = a.free_links();
+                match a.allocate(&req) {
+                    Ok(lease) => {
+                        // No double allocation: the request was disjoint
+                        // from every live lease.
+                        for (_, held) in &live {
+                            prop_assert!(held.is_disjoint(&req));
+                        }
+                        prop_assert_eq!(a.free_links(), free_before - req.len());
+                        live.push((lease, req));
+                    }
+                    Err(NdAllocError::LinkBusy(l)) => {
+                        // The named link really is held, and the failed
+                        // attempt changed nothing.
+                        prop_assert!(live.iter().any(|(_, held)| held.contains(&l)));
+                        prop_assert_eq!(a.free_links(), free_before);
+                    }
+                    Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+                }
+            }
+            // The free set and the union of live leases partition the
+            // fabric at every step.
+            let leased: usize = live.iter().map(|(_, s)| s.len()).sum();
+            prop_assert_eq!(a.free_links() + leased, capacity);
+            prop_assert_eq!(a.live_leases(), live.len());
+        }
+
+        for (lease, _) in live {
+            a.release(lease).expect("cleanup releases");
+        }
+        prop_assert_eq!(a.free_set(), &initial, "free set restored exactly");
+        prop_assert_eq!(a.live_leases(), 0);
+    }
+
+    /// A full-fabric slice is always composable on a fresh allocator,
+    /// uses every link, and releasing it empties nothing twice.
+    #[test]
+    fn full_fabric_slice_roundtrips(torus in arbitrary_torus()) {
+        let mut a = NdLinkAllocator::new(torus.clone());
+        let origin = vec![0; torus.n_dims()];
+        let extent = torus.dims().to_vec();
+        let req = a.block_request(&origin, &extent).expect("full block");
+        prop_assert_eq!(req.len(), a.capacity(), "a full slice owns every link");
+        let lease = a.allocate(&req).expect("fresh fabric fits");
+        prop_assert_eq!(a.free_links(), 0);
+        // Nothing else fits, and the rejection is atomic.
+        let one = a.block_request(&origin, &vec![1; torus.n_dims()]).expect("unit block");
+        prop_assert!(matches!(a.allocate(&one), Err(NdAllocError::LinkBusy(_))));
+        prop_assert_eq!(a.release(lease).expect("releases"), a.capacity());
+        prop_assert_eq!(a.free_links(), a.capacity());
+    }
+}

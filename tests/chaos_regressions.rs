@@ -1,0 +1,78 @@
+//! Minimal-schedule regressions for the two fault-path bugs the chaos
+//! harness surfaced, pinned forever.
+//!
+//! Both were found as `release-rejected` violations: the control plane
+//! refused to free a live slice, which is a capacity leak — once a
+//! release fails there is no path that returns those cubes to the pool.
+
+use lightwave::chaos::{run_schedule, ChaosConfig, FaultKind, FaultSchedule};
+
+/// Bug A: a down switch wedged every pod transaction.
+///
+/// `Superpod::target_for` declared a mapping for all 48 switches, so one
+/// chassis-down switch made `FabricController::validate` reject *every*
+/// compose and release fabric-wide (`ChassisDown` invalidates the whole
+/// transaction). The fix: transactions skip down (and not-yet-reconciled)
+/// switches, track them in a `desynced` set, and an anti-entropy
+/// `resync()` reconciles each one after it revives.
+#[test]
+fn down_switch_does_not_wedge_compose_or_release() {
+    let s = FaultSchedule {
+        seed: 7,
+        index: 0,
+        events: vec![
+            FaultKind::Compose { cubes: 1 },
+            // CPU slot dies on switch 5: the chassis is down.
+            FaultKind::FailFru { ocs: 5, slot: 14 },
+            // Pre-fix: both of these were rejected fabric-wide, and the
+            // release rejection fired the release-rejected invariant.
+            FaultKind::Compose { cubes: 1 },
+            FaultKind::Release { nth: 0 },
+            FaultKind::Advance { millis: 150 },
+            // The switch revives; resync reconciles its stale mapping
+            // (checked by the radix/mapping invariant after the event).
+            FaultKind::ReplaceFru { ocs: 5, slot: 14 },
+            FaultKind::Advance { millis: 60 },
+        ],
+    };
+    let out = run_schedule(&s, &ChaosConfig::default());
+    assert!(out.violation.is_none(), "violation: {:?}", out.violation);
+    assert_eq!(out.events_applied as usize, s.events.len());
+    assert_eq!(out.composes, 2, "composing around a down switch works");
+    assert_eq!(out.releases, 1, "releasing around a down switch works");
+    assert_eq!(out.rejected, 0, "nothing was needlessly rejected");
+}
+
+/// Bug B: a port that degraded *under* a running circuit wedged the
+/// switch.
+///
+/// Validation dry-ran the per-port usability checks over every pair of
+/// the target mapping, including circuits already established before the
+/// degradation. One failed HV driver under a live circuit then rejected
+/// every later transaction touching that switch — including releases of
+/// *other* slices. The fix: only circuits the delta actually
+/// (re)establishes are checked; untouched circuits are never re-vetted.
+#[test]
+fn degraded_port_under_live_circuit_does_not_block_release() {
+    let s = FaultSchedule {
+        seed: 7,
+        index: 1,
+        events: vec![
+            FaultKind::Compose { cubes: 1 }, // cube 0: circuits (0,0) everywhere
+            FaultKind::Compose { cubes: 1 }, // cube 1: circuits (1,1) everywhere
+            FaultKind::Advance { millis: 400 },
+            // HV driver 0 on switch 0 fails: ports 0..34 degrade under
+            // both live circuits.
+            FaultKind::FailFru { ocs: 0, slot: 6 },
+            // Pre-fix: releasing slice 0 re-checked the *unchanged*
+            // circuit (1,1) against the degraded set and was rejected —
+            // the release-rejected invariant fired here.
+            FaultKind::Release { nth: 0 },
+        ],
+    };
+    let out = run_schedule(&s, &ChaosConfig::default());
+    assert!(out.violation.is_none(), "violation: {:?}", out.violation);
+    assert_eq!(out.events_applied as usize, s.events.len());
+    assert_eq!(out.composes, 2);
+    assert_eq!(out.releases, 1, "release commits despite the degradation");
+}

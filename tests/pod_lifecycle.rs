@@ -69,7 +69,7 @@ fn full_pod_uses_every_ocs_symmetrically() {
 }
 
 #[test]
-fn ocs_chassis_failure_blocks_new_slices_but_not_running_ones() {
+fn ocs_chassis_failure_degrades_new_slices_but_wedges_nothing() {
     let mut pod = MlPod::new(3);
     let p1 = pod.place_model(&LlmConfig::llm0(), 512).expect("fits");
     settle(&mut pod);
@@ -80,13 +80,29 @@ fn ocs_chassis_failure_blocks_new_slices_but_not_running_ones() {
         ocs.fail_fru(0);
         ocs.fail_fru(1);
     }
-    // New slice composition must fail atomically...
-    let err = pod.place_model(&LlmConfig::llm0(), 512).unwrap_err();
-    assert!(matches!(err, lightwave::PlacementError::Pod(_)));
-    // ...while the original slice still exists and the pod state is
-    // consistent (its cubes are still owned).
+    // New slices still compose: the down switch carries 1 of the 16
+    // parallel links per face, so skipping it degrades bandwidth rather
+    // than partitioning the torus. The missed transaction is recorded...
+    let p2 = pod
+        .place_model(&LlmConfig::llm0(), 512)
+        .expect("degraded compose");
+    assert!(pod.pod.desynced().contains(&7), "missed txn recorded");
+    // ...while the original slice is untouched and accounting is sound.
     assert!(pod.pod.slice(p1.handle).is_some());
-    assert_eq!(pod.pod.idle_cubes().len(), 64 - 8);
+    assert!(pod.pod.slice(p2.handle).is_some());
+    assert_eq!(pod.pod.idle_cubes().len(), 64 - 16);
+
+    // Repair the chassis; anti-entropy converges the straggler.
+    {
+        let ocs = pod.pod.fabric_mut().fleet.get_mut(7).expect("exists");
+        ocs.replace_fru(0);
+        ocs.replace_fru(1);
+    }
+    for (id, r) in pod.pod.resync() {
+        r.unwrap_or_else(|e| panic!("OCS {id} resync: {e}"));
+    }
+    assert!(pod.pod.desynced().is_empty());
+    settle(&mut pod);
 }
 
 #[test]
