@@ -1,0 +1,169 @@
+//! Fleet-health analytics throughput benchmark → `BENCH_PR5.json`.
+//!
+//! Measures the health layer's per-sample hot paths — time-series push
+//! (raw ring + downsample tiers), streaming detector ingest (CUSUM +
+//! EWMA per drift sample), health-report rendering — and the end-to-end
+//! overhead of running the full chaos executor with the health layer
+//! wired in, then writes a machine-readable record (schema documented in
+//! EXPERIMENTS.md).
+//!
+//! ```text
+//! cargo run -p lightwave-bench --release --bin bench_pr5              # full depth
+//! cargo run -p lightwave-bench --release --bin bench_pr5 -- --smoke  # CI-sized
+//! cargo run -p lightwave-bench --release --bin bench_pr5 -- --out p  # custom path
+//! ```
+
+use lightwave_core::chaos::{run_schedule, ChaosConfig, FaultSchedule};
+use lightwave_core::telemetry::{FleetHealth, FleetTelemetry, SeriesConfig, SeriesStore};
+use lightwave_units::Nanos;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One hot path's measurement.
+#[derive(Debug, Serialize)]
+struct Workload {
+    /// Workload id: `series_push`, `detector_ingest`, `report_render`,
+    /// or `chaos_overhead`.
+    id: String,
+    /// The unit `per_sec` counts.
+    unit: String,
+    /// Work units per timed run.
+    n: u64,
+    /// Units per second.
+    per_sec: f64,
+}
+
+/// The whole report.
+#[derive(Debug, Serialize)]
+struct Report {
+    /// Schema tag for downstream tooling.
+    schema: String,
+    /// `full` or `smoke`.
+    mode: String,
+    /// One record per hot path.
+    workloads: Vec<Workload>,
+}
+
+fn timed(id: &str, unit: &str, n: u64, f: impl FnOnce()) -> Workload {
+    let t0 = Instant::now();
+    f();
+    Workload {
+        id: id.to_string(),
+        unit: unit.to_string(),
+        n,
+        per_sec: n as f64 / t0.elapsed().as_secs_f64().max(1e-9),
+    }
+}
+
+/// Raw-ring + tier maintenance cost per sample, across 64 series.
+fn series_push_workload(samples: u64) -> Workload {
+    let mut store = SeriesStore::new(SeriesConfig::default());
+    let ids: Vec<_> = (0..64u32)
+        .map(|p| {
+            let label = format!("{p}");
+            store.series("bench_drift_db", &[("port", &label)])
+        })
+        .collect();
+    timed("series_push", "samples_per_sec", samples, || {
+        for i in 0..samples {
+            let id = ids[(i % 64) as usize];
+            store.push(id, Nanos::from_micros(i * 50), (i % 977) as f64 * 1e-3);
+        }
+        assert!(store.len() >= 64);
+    })
+}
+
+/// CUSUM + EWMA ingest per drift sample, alarms wired.
+fn detector_ingest_workload(samples: u64) -> Workload {
+    let mut sink = FleetTelemetry::new();
+    let mut health = FleetHealth::default();
+    timed("detector_ingest", "samples_per_sec", samples, || {
+        for i in 0..samples {
+            // A near-flat dither well under the EWMA threshold and CUSUM
+            // slack: measures the steady-state path, not trip handling.
+            health.ingest_drift(
+                &mut sink,
+                Nanos::from_micros(i * 50),
+                (i % 48) as u32,
+                i % 2 == 0,
+                (i % 64) as u16,
+                (i % 7) as f64 * 1e-4,
+            );
+        }
+        assert!(health.trips().is_empty(), "flat ingest must not trip");
+    })
+}
+
+/// Scoring + dashboard + JSONL rendering over a populated fleet.
+fn report_render_workload(renders: u64) -> Workload {
+    let mut sink = FleetTelemetry::new();
+    let mut health = FleetHealth::default();
+    for i in 0..10_000u64 {
+        health.ingest_drift(
+            &mut sink,
+            Nanos::from_micros(i * 50),
+            (i % 48) as u32,
+            true,
+            (i % 64) as u16,
+            (i % 5) as f64 * 1e-4,
+        );
+    }
+    let now = Nanos::from_millis(500);
+    timed("report_render", "renders_per_sec", renders, || {
+        let mut bytes = 0usize;
+        for _ in 0..renders {
+            bytes += health.dashboard(now).len() + health.to_jsonl(now).len();
+        }
+        assert!(bytes > 0);
+    })
+}
+
+/// End-to-end chaos schedules with the health layer wired in (the
+/// executor's observe loop scrapes, forwards drift, and polls the
+/// recorder with counter embedding every event).
+fn chaos_overhead_workload(schedules: u64) -> Workload {
+    let cfg = ChaosConfig::default();
+    timed("chaos_overhead", "schedules_per_sec", schedules, || {
+        let mut trips = 0u32;
+        for i in 0..schedules {
+            trips += run_schedule(&FaultSchedule::generate_degradation(2024, i), &cfg).trend_trips;
+        }
+        assert!(trips >= schedules as u32, "every degradation trips");
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
+
+    let (samples, renders, schedules) = if smoke {
+        (200_000u64, 200u64, 8u64)
+    } else {
+        (5_000_000, 2_000, 64)
+    };
+
+    let report = Report {
+        schema: "lightwave/bench-pr5/v1".to_string(),
+        mode: if smoke { "smoke" } else { "full" }.to_string(),
+        workloads: vec![
+            series_push_workload(samples),
+            detector_ingest_workload(samples),
+            report_render_workload(renders),
+            chaos_overhead_workload(schedules),
+        ],
+    };
+
+    for w in &report.workloads {
+        println!("{:<16} n={:<9} {:>14.0} {}", w.id, w.n, w.per_sec, w.unit);
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json + "\n").expect("write BENCH_PR5.json");
+    println!("wrote {out}");
+}

@@ -19,7 +19,7 @@ use lightwave_superpod::instrument::{trace_compose, trace_release};
 use lightwave_superpod::pod::{SliceHandle, Superpod};
 use lightwave_superpod::slice::{Slice, SliceShape};
 use lightwave_superpod::wiring::SUPERPOD_OCS_COUNT;
-use lightwave_telemetry::{AlarmCause, AlarmRecord, FleetTelemetry, Severity};
+use lightwave_telemetry::{AlarmCause, AlarmRecord, FleetHealth, FleetTelemetry, Severity};
 use lightwave_trace::{FlightRecorder, Tracer};
 use lightwave_units::Nanos;
 use serde::{Deserialize, Serialize};
@@ -121,6 +121,10 @@ pub struct World {
     pub tracer: Tracer,
     /// The real flight recorder.
     pub recorder: FlightRecorder,
+    /// The fleet-health analytics tier: per-port drift detectors and
+    /// per-switch relock-rate detectors, fed from the switches' drift
+    /// logs and link-flap events as part of the per-event observe pass.
+    pub health: FleetHealth,
     /// Live slices with admission state.
     pub slices: Vec<LiveSlice>,
     /// Up switches whose mapping is reconciled with the slice union.
@@ -156,6 +160,9 @@ pub struct ScheduleOutcome {
     /// Flight-recorder dumps taken (== Critical incidents, or invariant
     /// (c) would have fired).
     pub critical_dumps: u32,
+    /// Fleet-health detector trips (trend anomalies). The clean corpus
+    /// must keep this at zero — a trip there is a false positive.
+    pub trend_trips: u32,
     /// The first invariant violation, if any.
     pub violation: Option<Violation>,
 }
@@ -179,6 +186,7 @@ impl World {
             telemetry,
             tracer: Tracer::new(world_seed),
             recorder: FlightRecorder::new(256),
+            health: FleetHealth::default(),
             slices: Vec::new(),
             synced: (0..SUPERPOD_OCS_COUNT as OcsId).collect(),
             models,
@@ -321,6 +329,11 @@ impl World {
             switch: ocs,
             cause: AlarmCause::RateFallback { port },
         });
+        // Every relock also feeds the per-switch rate-spike detector; a
+        // sustained elevated rate (not one storm instant) trips a trend
+        // warning before occurrence-count escalation goes Critical.
+        self.health
+            .ingest_relock(&mut self.telemetry, self.now, ocs, port as u16);
     }
 
     fn apply(&mut self, ev: FaultKind) {
@@ -364,6 +377,16 @@ impl World {
                     self.link_alarm(ocs as OcsId, p as u32);
                 }
             }
+            FaultKind::DegradeMirror {
+                ocs,
+                north,
+                port,
+                mdb,
+            } => {
+                if let Some(sw) = self.pod.fabric_mut().fleet.get_mut(ocs as OcsId) {
+                    sw.degrade_mirror(north, port as PortId, mdb as f64 / 1000.0);
+                }
+            }
         }
         self.observe();
     }
@@ -377,13 +400,19 @@ impl World {
             let inst = self.insts.get_mut(&id).expect("registered switch");
             inst.record_health(&mut self.telemetry, now, &sw.health());
             // Deliberately no drift census here: it is O(ports) per
-            // switch per event and irrelevant to the invariants.
+            // switch per event and irrelevant to the invariants. The
+            // health layer's drift feed is cursor-scraped instead —
+            // O(changed), like alarm forwarding.
+            inst.forward_drift(&mut self.telemetry, &mut self.health, sw);
             inst.forward_alarms(&mut self.telemetry, sw);
         }
         self.telemetry.advance(now);
         self.update_admission();
         if self.cfg.inject != Some(InjectedBug::SkipFlightPoll) {
-            self.recorder.poll(&self.tracer, &self.telemetry);
+            // Postmortem bundles embed the incident switch's recent
+            // health counter samples (blast-radius context).
+            self.recorder
+                .poll_with_series(&self.tracer, &self.telemetry, self.health.store(), 16);
         }
         self.synced = self
             .pod
@@ -443,6 +472,7 @@ pub fn run_schedule_world(schedule: &FaultSchedule, cfg: &ChaosConfig) -> (Sched
         rejected: w.rejected,
         alarms: w.telemetry.alarms.ingested(),
         critical_dumps: w.recorder.dumps().len() as u32,
+        trend_trips: w.health.trips().len() as u32,
         violation,
     };
     (outcome, w)
@@ -494,6 +524,86 @@ mod tests {
         assert!(run_schedule(&s, &ChaosConfig::default())
             .violation
             .is_none());
+    }
+
+    #[test]
+    fn loss_creep_trips_detectors_before_the_chassis_dies() {
+        let s = FaultSchedule::generate_degradation(2024, 0);
+        assert!(s
+            .events
+            .iter()
+            .any(|e| matches!(e, FaultKind::DegradeMirror { .. })));
+        let (out, w) = run_schedule_world(&s, &ChaosConfig::default());
+        assert!(out.violation.is_none(), "violation: {:?}", out.violation);
+        assert!(out.trend_trips >= 1, "creep must trip a detector");
+        let trip = w.health.first_trip_at().expect("tripped");
+        let critical = w
+            .telemetry
+            .alarms
+            .incidents()
+            .iter()
+            .find(|i| i.severity == Severity::Critical)
+            .expect("FPGA death goes Critical");
+        assert!(
+            trip < critical.last_at,
+            "detector trip ({trip:?}) precedes the hard failure"
+        );
+        // The degradation itself stayed silent: the only Warning the
+        // health layer raised is the trend anomaly.
+        assert!(w
+            .health
+            .trips()
+            .iter()
+            .all(|t| t.signal == lightwave_telemetry::TrendSignal::LossDrift));
+    }
+
+    #[test]
+    fn relock_creep_trips_rate_spike_before_escalation() {
+        let s = FaultSchedule::generate_degradation(2024, 1);
+        let (out, w) = run_schedule_world(&s, &ChaosConfig::default());
+        assert!(out.violation.is_none(), "violation: {:?}", out.violation);
+        assert!(out.trend_trips >= 1, "sustained flapping must trip");
+        let trip = w.health.first_trip_at().expect("tripped");
+        let critical = w
+            .telemetry
+            .alarms
+            .incidents()
+            .iter()
+            .find(|i| i.severity == Severity::Critical)
+            .expect("occurrence storm escalates the Link incident");
+        assert!(trip < critical.last_at, "trip precedes escalation");
+        assert!(
+            out.critical_dumps >= 1,
+            "the escalated incident dumped a postmortem"
+        );
+        // The postmortem embeds the switch's relock counter history.
+        let dump = w.recorder.latest_dump().expect("dumped");
+        assert!(
+            !dump.counters.is_empty(),
+            "blast-radius counters in the bundle"
+        );
+        assert!(dump
+            .counters
+            .iter()
+            .any(|c| c.series.contains("health_relocks_total")));
+    }
+
+    #[test]
+    fn single_relock_storm_does_not_trip_the_rate_detector() {
+        // One instant of 16 flaps is an incident for the correlator, not
+        // a *trend*: the rate-spike detector needs contiguous windows.
+        let s = FaultSchedule {
+            seed: 1,
+            index: 0,
+            events: vec![
+                FaultKind::Compose { cubes: 1 },
+                FaultKind::RelockStorm { ocs: 3, ports: 16 },
+                FaultKind::Advance { millis: 400 },
+            ],
+        };
+        let out = run_schedule(&s, &ChaosConfig::default());
+        assert!(out.violation.is_none());
+        assert_eq!(out.trend_trips, 0, "storms are not trends");
     }
 
     #[test]

@@ -97,6 +97,22 @@ pub enum FaultKind {
         /// How many ports flap (1–16).
         ports: u8,
     },
+    /// Silent optical creep: the mirror serving `port` degrades by `mdb`
+    /// milli-dB of extra intrinsic loss. Raises no alarm and changes no
+    /// chassis/spare state — only the fleet-health detectors can see it
+    /// (via the switch's drift log). Emitted by
+    /// [`FaultSchedule::generate_degradation`], never by the uniform
+    /// [`FaultSchedule::generate`] draw (whose distribution is pinned).
+    DegradeMirror {
+        /// Switch.
+        ocs: u8,
+        /// True for the north die.
+        north: bool,
+        /// Mirror port.
+        port: u8,
+        /// Extra intrinsic loss, milli-dB.
+        mdb: u16,
+    },
 }
 
 /// A deterministic fault schedule: regenerate with
@@ -182,6 +198,70 @@ impl FaultSchedule {
                 ocs,
                 ports: rng.random_range(1..=16u8),
             },
+        }
+    }
+
+    /// Generates slow-degradation schedule `index` of the hunt seeded
+    /// `seed` — the fleet-health oracle corpus (`tests/fleet_health.rs`).
+    ///
+    /// Two families alternate by index parity, each ending in the hard
+    /// failure the degradation foreshadows:
+    ///
+    /// - **loss creep** (even): one port's mirror degrades 25–40 mdb at
+    ///   a time, 8–12 steps — each step under the spare-swap jump a
+    ///   single legitimate event can cause — then the switch's FPGA dies
+    ///   (slot 15: chassis down, Critical). The CUSUM change-point
+    ///   detector must trip mid-creep, before the Critical.
+    /// - **relock creep** (odd): one switch's transceivers flap 3× per
+    ///   250 ms detector window, 4–6 windows back to back. The windowed
+    ///   rate-spike detector trips on the third contiguous window; the
+    ///   Link incident's 10th occurrence then escalates it to Critical.
+    ///
+    /// Uses the same `splitmix(seed, index)` stream discipline as
+    /// [`FaultSchedule::generate`], but a distinct generator: the
+    /// uniform draw's distribution is pinned by the determinism tests
+    /// and must not change.
+    pub fn generate_degradation(seed: u64, index: u64) -> FaultSchedule {
+        // Offset the stream selector so index i here never mirrors
+        // index i of the uniform generator.
+        let mut rng = StdRng::seed_from_u64(lightwave_par::splitmix(seed ^ 0xDE64_AD00, index));
+        let ocs = rng.random_range(0..GEN_OCS_COUNT);
+        let mut events = vec![FaultKind::Compose {
+            cubes: *pick(&mut rng, &[1u8, 2, 4]),
+        }];
+        if index.is_multiple_of(2) {
+            let north = rng.random_bool(0.5);
+            let port = rng.random_range(0..64u8);
+            let steps = rng.random_range(8..=12u32);
+            for _ in 0..steps {
+                events.push(FaultKind::DegradeMirror {
+                    ocs,
+                    north,
+                    port,
+                    mdb: rng.random_range(25..=40u16),
+                });
+                events.push(FaultKind::Advance { millis: 60 });
+            }
+            events.push(FaultKind::FailFru { ocs, slot: 15 });
+        } else {
+            let base = rng.random_range(0..32u8);
+            let rounds = rng.random_range(4..=6u32);
+            for _ in 0..rounds {
+                for p in 0..3u8 {
+                    events.push(FaultKind::LinkFlap {
+                        ocs,
+                        port: base + p,
+                    });
+                }
+                // Exactly one detector window per round: windows stay
+                // contiguous, so the rate-spike streak can build.
+                events.push(FaultKind::Advance { millis: 250 });
+            }
+        }
+        FaultSchedule {
+            seed,
+            index,
+            events,
         }
     }
 

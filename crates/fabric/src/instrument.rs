@@ -13,7 +13,7 @@
 use crate::controller::{CommitError, CommitReport, FabricController, FabricTarget};
 use crate::fleet::{OcsFleet, OcsId};
 use lightwave_ocs::instrument::OcsInstruments;
-use lightwave_telemetry::{CounterId, EventKind, FleetTelemetry, HistogramId};
+use lightwave_telemetry::{CounterId, EventKind, FleetTelemetry, HistogramId, RateWindow};
 use lightwave_trace::{Lane, SpanId, SpanKind, Tracer};
 use lightwave_units::Nanos;
 use std::collections::BTreeMap;
@@ -22,6 +22,10 @@ use std::collections::BTreeMap;
 #[derive(Debug, Default)]
 pub struct FabricInstruments {
     handles: Option<Handles>,
+    /// Per-second commit rate over fixed windows. Lives outside
+    /// [`Handles`] because the window carries mutable cursor state and
+    /// `Handles` is cloned out on each record.
+    commit_rate: Option<RateWindow>,
     per_switch: BTreeMap<OcsId, OcsInstruments>,
 }
 
@@ -55,6 +59,7 @@ impl FabricInstruments {
     pub fn register(sink: &mut FleetTelemetry) -> FabricInstruments {
         FabricInstruments {
             handles: Some(Handles::register(sink)),
+            commit_rate: None,
             per_switch: BTreeMap::new(),
         }
     }
@@ -63,6 +68,22 @@ impl FabricInstruments {
         self.handles
             .get_or_insert_with(|| Handles::register(sink))
             .clone()
+    }
+
+    /// Rolls the commit-rate window at sim time `at`, publishing the
+    /// `fabric_commits_per_sec` gauge on rollover.
+    fn roll_commit_rate(&mut self, sink: &mut FleetTelemetry, at: Nanos) {
+        let commits = self.handles(sink).commits;
+        let mut rate = *self.commit_rate.get_or_insert_with(|| {
+            sink.metrics.rate_window(
+                commits,
+                "fabric_commits_per_sec",
+                &[],
+                Nanos::from_secs_f64(1.0),
+            )
+        });
+        rate.observe(&mut sink.metrics, at);
+        self.commit_rate = Some(rate);
     }
 
     /// Records a committed transaction: delta counters, disturbed-circuit
@@ -111,6 +132,7 @@ impl FabricInstruments {
     ) {
         let h = self.handles(sink);
         sink.metrics.inc(h.commits, at, 1);
+        self.roll_commit_rate(sink, at);
         sink.metrics.inc(h.circuits_added, at, report.added as u64);
         sink.metrics
             .inc(h.circuits_removed, at, report.removed as u64);
@@ -192,6 +214,7 @@ impl FabricInstruments {
                 .or_insert_with(|| OcsInstruments::register(sink, id));
             inst.scrape(sink, at, ocs);
         }
+        self.roll_commit_rate(sink, at);
         sink.advance(at);
     }
 }
@@ -291,6 +314,21 @@ mod tests {
         t.set(9, PortMapping::from_pairs([(0, 1)]).unwrap());
         assert!(inst.commit_observed(&mut sink, &mut c, &t).is_err());
         assert_eq!(sink.events.published(), 0);
+    }
+
+    #[test]
+    fn commit_rate_gauge_publishes_on_window_rollover() {
+        let mut sink = FleetTelemetry::new();
+        let mut inst = FabricInstruments::register(&mut sink);
+        let mut c = FabricController::new(OcsFleet::build(1, 17));
+        let mut t = FabricTarget::new();
+        t.set(0, PortMapping::from_pairs([(0, 1)]).unwrap());
+        inst.commit_observed(&mut sink, &mut c, &t).unwrap();
+        // Advance past the 1 s window; the next scrape publishes the rate.
+        c.fleet.advance(Nanos::from_secs_f64(1.5));
+        inst.scrape_fleet(&mut sink, &c.fleet);
+        let rate = inst.commit_rate.expect("window registered");
+        assert_eq!(sink.metrics.gauge_value(rate.gauge()), 1.0);
     }
 
     #[test]

@@ -11,7 +11,8 @@
 use crate::palomar::{OcsHealth, PalomarOcs, ReconfigReport};
 use crate::telemetry::{Alarm, AlarmCode};
 use lightwave_telemetry::{
-    AlarmCause, AlarmRecord, CounterId, EventKind, FleetTelemetry, GaugeId, HistogramId,
+    AlarmCause, AlarmRecord, CounterId, EventKind, FleetHealth, FleetTelemetry, GaugeId,
+    HistogramId, RateWindow,
 };
 use lightwave_trace::{reconfig_phase_spans, Lane, SpanId, SpanKind, Tracer};
 use lightwave_units::{Db, Nanos};
@@ -23,15 +24,22 @@ pub struct OcsInstruments {
     reconfigs: CounterId,
     circuits_preserved: CounterId,
     alarms_forwarded: CounterId,
+    relocks: CounterId,
     switch_duration_ms: HistogramId,
     loss_drift_db: HistogramId,
     circuits: GaugeId,
     spares_north: GaugeId,
     spares_south: GaugeId,
     power_w: GaugeId,
+    reconfig_rate: RateWindow,
+    relock_rate: RateWindow,
     /// How many per-switch alarms have already been forwarded (the
     /// switch's alarm log is append-only, so this is a scrape cursor).
     cursor: usize,
+    /// Alignment events already mirrored into the fleet relock counter.
+    relocks_seen: u64,
+    /// Drift-log entries already forwarded to the health layer.
+    drift_cursor: usize,
 }
 
 impl OcsInstruments {
@@ -40,18 +48,26 @@ impl OcsInstruments {
         let id = switch.to_string();
         let labels: &[(&str, &str)] = &[("switch", &id)];
         let m = &mut sink.metrics;
+        let reconfigs = m.counter("ocs_reconfigs_total", labels);
+        let relocks = m.counter("ocs_relocks_total", labels);
+        let rate_window = Nanos::from_secs_f64(1.0);
         OcsInstruments {
             switch,
-            reconfigs: m.counter("ocs_reconfigs_total", labels),
+            reconfigs,
             circuits_preserved: m.counter("ocs_circuits_preserved_total", labels),
             alarms_forwarded: m.counter("ocs_alarms_forwarded_total", labels),
+            relocks,
             switch_duration_ms: m.histogram("ocs_switch_duration_ms", labels),
             loss_drift_db: m.histogram("ocs_loss_drift_db", labels),
             circuits: m.gauge("ocs_circuits", labels),
             spares_north: m.gauge("ocs_mirror_spares_north", labels),
             spares_south: m.gauge("ocs_mirror_spares_south", labels),
             power_w: m.gauge("ocs_power_w", labels),
+            reconfig_rate: m.rate_window(reconfigs, "ocs_reconfigs_per_sec", labels, rate_window),
+            relock_rate: m.rate_window(relocks, "ocs_relocks_per_sec", labels, rate_window),
             cursor: 0,
+            relocks_seen: 0,
+            drift_cursor: 0,
         }
     }
 
@@ -143,6 +159,49 @@ impl OcsInstruments {
         }
     }
 
+    /// Mirrors the switch's alignment (relock) tally into the fleet
+    /// `ocs_relocks_total` counter as an exact integer delta, then rolls
+    /// the per-second rate windows. The published rates are a pure
+    /// function of the counter history and the scrape stamps, so they
+    /// replay bit-identically (DESIGN.md §6.4).
+    pub fn record_rates(&mut self, sink: &mut FleetTelemetry, at: Nanos, ocs: &PalomarOcs) {
+        let total = ocs.telemetry().counters.alignments;
+        let delta = total.saturating_sub(self.relocks_seen);
+        if delta > 0 {
+            sink.metrics.inc(self.relocks, at, delta);
+        }
+        self.relocks_seen = total;
+        self.relock_rate.observe(&mut sink.metrics, at);
+        self.reconfig_rate.observe(&mut sink.metrics, at);
+    }
+
+    /// Forwards drift-log entries appended since the last scrape into the
+    /// fleet-health detector bank (CUSUM + EWMA per port). Returns how
+    /// many entries were forwarded — the log is append-only, so each
+    /// scrape costs `O(changed)`.
+    pub fn forward_drift(
+        &mut self,
+        sink: &mut FleetTelemetry,
+        health: &mut FleetHealth,
+        ocs: &PalomarOcs,
+    ) -> usize {
+        let log = ocs.drift_log();
+        let fresh = &log[self.drift_cursor.min(log.len())..];
+        let n = fresh.len();
+        for change in fresh {
+            health.ingest_drift(
+                sink,
+                change.at,
+                self.switch,
+                change.north,
+                change.port,
+                change.drift_db,
+            );
+        }
+        self.drift_cursor = log.len();
+        n
+    }
+
     /// Forwards any alarms the switch raised since the last scrape into
     /// the fleet aggregator (debounce + blast-radius correlation happen
     /// there). Returns how many alarms were forwarded.
@@ -159,11 +218,13 @@ impl OcsInstruments {
         n
     }
 
-    /// One full scrape: health gauges, drift census, alarm forwarding.
+    /// One full scrape: health gauges, drift census, relock/reconfig
+    /// rates, alarm forwarding.
     pub fn scrape(&mut self, sink: &mut FleetTelemetry, at: Nanos, ocs: &PalomarOcs) {
         let health = ocs.health();
         self.record_health(sink, at, &health);
         self.record_drift(sink, at, ocs);
+        self.record_rates(sink, at, ocs);
         self.forward_alarms(sink, ocs);
     }
 }
@@ -271,6 +332,40 @@ mod tests {
             }
         );
         assert_eq!(rec.switch, 7);
+    }
+
+    #[test]
+    fn rates_mirror_alignments_and_publish_per_second() {
+        let mut sink = FleetTelemetry::new();
+        let mut ocs = PalomarOcs::new(1, 11);
+        let mut inst = OcsInstruments::register(&mut sink, 1);
+        for i in 0..4u16 {
+            ocs.connect(i, i + 64).unwrap();
+        }
+        inst.record_rates(&mut sink, Nanos(0), &ocs);
+        assert_eq!(sink.metrics.counter_value(inst.relocks), 4);
+        // Second scrape with no new alignments adds nothing.
+        inst.record_rates(&mut sink, Nanos(1), &ocs);
+        assert_eq!(sink.metrics.counter_value(inst.relocks), 4);
+        // After the 1 s window rolls over, the rate gauge publishes.
+        inst.record_rates(&mut sink, Nanos::from_secs_f64(1.5), &ocs);
+        assert_eq!(sink.metrics.gauge_value(inst.relock_rate.gauge()), 4.0);
+    }
+
+    #[test]
+    fn drift_forwarding_is_incremental_and_feeds_health() {
+        let mut sink = FleetTelemetry::new();
+        let mut health = FleetHealth::default();
+        let mut ocs = PalomarOcs::new(5, 21);
+        let mut inst = OcsInstruments::register(&mut sink, 5);
+        ocs.degrade_mirror(true, 3, 0.03);
+        ocs.degrade_mirror(true, 3, 0.03);
+        assert_eq!(inst.forward_drift(&mut sink, &mut health, &ocs), 2);
+        assert_eq!(inst.forward_drift(&mut sink, &mut health, &ocs), 0);
+        ocs.degrade_mirror(true, 3, 0.03);
+        assert_eq!(inst.forward_drift(&mut sink, &mut health, &ocs), 1);
+        // The health layer retained the samples under this switch's label.
+        assert_eq!(health.store().recent_for_switch(5, 8).len(), 3);
     }
 
     #[test]

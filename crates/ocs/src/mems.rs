@@ -163,6 +163,18 @@ impl MemsDie {
         }
     }
 
+    /// Degrades the mirror currently serving `port` by `loss_db` of
+    /// additional intrinsic loss — the slow optical creep (contamination,
+    /// actuator drift) that the 850 nm monitor path exists to catch
+    /// (§3.2.2: the link budget erodes in tenths of a dB, silently).
+    ///
+    /// The mirror stays `Active`: degradation raises the served path's
+    /// loss and drift but, unlike [`MemsDie::fail_and_swap`], changes no
+    /// state and raises no alarm — detection is the health layer's job.
+    pub fn degrade(&mut self, port: usize, loss_db: f64) {
+        self.mirrors[self.port_to_mirror[port]].intrinsic_loss_db += loss_db.max(0.0);
+    }
+
     /// Count of mirrors in each state `(active, spare, rejected, failed)`.
     pub fn census(&self) -> (usize, usize, usize, usize) {
         let mut c = (0, 0, 0, 0);
@@ -241,6 +253,22 @@ mod tests {
         assert_eq!(die.mirror_for_port(7).state, MirrorState::Active);
         // Swapped-in spare is (weakly) worse than the original best pick.
         assert!(die.mirror_for_port(7).intrinsic_loss_db >= old_loss - 1e-12);
+    }
+
+    #[test]
+    fn degrade_raises_loss_without_changing_state() {
+        let mut die = MemsDie::fabricate(5, 0.95).unwrap();
+        let (active, spare, _, failed) = die.census();
+        let before = die.mirror_for_port(11).intrinsic_loss_db;
+        die.degrade(11, 0.03);
+        die.degrade(11, 0.03);
+        let after = die.mirror_for_port(11).intrinsic_loss_db;
+        assert!((after - before - 0.06).abs() < 1e-12);
+        assert_eq!(die.mirror_for_port(11).state, MirrorState::Active);
+        assert_eq!(die.census(), (active, spare, 176 - active - spare, failed));
+        // Negative deltas are clamped: degradation only accumulates.
+        die.degrade(11, -1.0);
+        assert_eq!(die.mirror_for_port(11).intrinsic_loss_db, after);
     }
 
     #[test]

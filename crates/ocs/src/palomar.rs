@@ -78,6 +78,23 @@ pub struct OcsHealth {
 /// link budget is a precious commodity"), hence the tight threshold.
 pub const DRIFT_ALARM_DB: f64 = 0.12;
 
+/// One change to a port's cumulative loss drift, recorded whenever the
+/// mirror serving the port changes character — a silent degradation step
+/// or a spare swap. The log is append-only and scraped by cursor (the
+/// fleet-health layer keeps `O(changed)` per poll, never rescanning all
+/// 272 mirrors per switch).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftChange {
+    /// Simulation time of the change.
+    pub at: Nanos,
+    /// Which die (true = north).
+    pub north: bool,
+    /// Affected port.
+    pub port: PortId,
+    /// Cumulative drift from as-built after the change, dB.
+    pub drift_db: f64,
+}
+
 /// A simulated Palomar optical circuit switch.
 #[derive(Debug)]
 pub struct PalomarOcs {
@@ -93,6 +110,8 @@ pub struct PalomarOcs {
     pending: BTreeMap<PortId, Nanos>,
     /// Ports unusable due to exhausted spares.
     dead_ports: BTreeSet<PortId>,
+    /// Append-only record of per-port drift changes (see [`DriftChange`]).
+    drift_log: Vec<DriftChange>,
 }
 
 impl PalomarOcs {
@@ -117,6 +136,7 @@ impl PalomarOcs {
             rng: StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A_0F0F_F0F0),
             pending: BTreeMap::new(),
             dead_ports: BTreeSet::new(),
+            drift_log: Vec::new(),
         }
     }
 
@@ -306,6 +326,10 @@ impl PalomarOcs {
         let spare_used = die.fail_and_swap(port as usize);
         if spare_used {
             self.telemetry.counters.spares_consumed += 1;
+            // A swapped-in spare sits at a different point of the loss
+            // barrel: the port's drift changed, log it for the health
+            // layer (the abrupt counterpart of slow degradation).
+            self.log_drift(north_die, port);
         } else {
             self.dead_ports.insert(port);
         }
@@ -352,6 +376,40 @@ impl PalomarOcs {
                 }
             }
         }
+    }
+
+    /// Degrades the mirror serving `port` on the chosen die by `loss_db`
+    /// of extra intrinsic loss — the slow, silent optical creep
+    /// (contamination, actuator relaxation) that erodes the link budget
+    /// in tenths of a dB. Deliberately raises **no alarm** and changes
+    /// **no** chassis, circuit, or spare state: the only observable
+    /// effects are higher insertion loss on the served path and an entry
+    /// in the [`PalomarOcs::drift_log`] for the fleet-health detectors to
+    /// catch before the port fails hard.
+    pub fn degrade_mirror(&mut self, north_die: bool, port: PortId, loss_db: f64) {
+        let die = if north_die {
+            &mut self.core.die_north
+        } else {
+            &mut self.core.die_south
+        };
+        die.degrade(port as usize, loss_db);
+        self.log_drift(north_die, port);
+    }
+
+    fn log_drift(&mut self, north: bool, port: PortId) {
+        let drift = self.core.port_drift(north, port as usize);
+        self.drift_log.push(DriftChange {
+            at: self.now,
+            north,
+            port,
+            drift_db: drift.db(),
+        });
+    }
+
+    /// The append-only drift-change log. Consumers scrape incrementally
+    /// by remembering how many entries they have already seen.
+    pub fn drift_log(&self) -> &[DriftChange] {
+        &self.drift_log
     }
 
     /// Ports whose serving mirror has drifted more than `threshold` dB
@@ -603,6 +661,31 @@ mod tests {
         );
         // Fresh ports report no drift.
         assert!(report.iter().all(|&(_, port, _)| port == 5));
+    }
+
+    #[test]
+    fn degrade_mirror_is_silent_but_logged() {
+        let mut ocs = PalomarOcs::new(0, 13);
+        ocs.connect(6, 60).unwrap();
+        settled(&mut ocs);
+        let alarms_before = ocs.telemetry().alarms().len();
+        let loss_before = ocs.insertion_loss(6).unwrap();
+        ocs.degrade_mirror(true, 6, 0.03);
+        ocs.degrade_mirror(true, 6, 0.03);
+        // Silent: no alarm, chassis up, circuit still carrying.
+        assert_eq!(ocs.telemetry().alarms().len(), alarms_before);
+        assert!(ocs.is_up());
+        assert!(ocs.circuit_ready(6));
+        // But the path got lossier and the log recorded each step.
+        let loss_after = ocs.insertion_loss(6).unwrap();
+        assert!((loss_after.db() - loss_before.db() - 0.06).abs() < 1e-9);
+        let log = ocs.drift_log();
+        assert_eq!(log.len(), 2);
+        assert!(log.iter().all(|d| d.north && d.port == 6));
+        assert!(log[1].drift_db > log[0].drift_db);
+        // Spare swaps land in the same log (abrupt drift changes).
+        ocs.fail_mirror(true, 6);
+        assert_eq!(ocs.drift_log().len(), 3);
     }
 
     #[test]

@@ -72,6 +72,23 @@ pub enum AlarmCause {
         /// Torus dimension of the slow phase.
         dim: u8,
     },
+    /// A streaming detector caught a slow trend (drift creep or a
+    /// sustained rate spike) before any hard-failure alarm fired.
+    TrendAnomaly {
+        /// Which trend signal tripped.
+        signal: TrendSignal,
+        /// Port the trend is attributed to (0 for switch-wide signals).
+        port: u16,
+    },
+}
+
+/// The trend signal a streaming detector watches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TrendSignal {
+    /// Per-port insertion-loss drift creeping toward the link budget.
+    LossDrift,
+    /// Sustained transceiver relock/fallback rate on one switch.
+    RelockRate,
 }
 
 /// Correlation class of a cause: incidents are keyed per (switch, class).
@@ -91,6 +108,10 @@ pub enum CauseClass {
     Link,
     /// Collective-performance symptom.
     Collective,
+    /// Streaming-detector trend anomaly (predictive, not correlatable:
+    /// a trend page is the early warning itself, never absorbed into a
+    /// hard-failure incident's blast radius).
+    Trend,
 }
 
 impl AlarmCause {
@@ -104,6 +125,7 @@ impl AlarmCause {
             AlarmCause::HighLoss { .. } => CauseClass::Loss,
             AlarmCause::RateFallback { .. } => CauseClass::Link,
             AlarmCause::Straggler { .. } => CauseClass::Collective,
+            AlarmCause::TrendAnomaly { .. } => CauseClass::Trend,
         }
     }
 

@@ -23,6 +23,14 @@
 //! - [`SloTracker`] — per-object availability and error budget against
 //!   the paper's 99.98% OCS target.
 //! - [`export`] — a text dashboard and a JSON-lines serializer.
+//! - [`timeseries`] — bounded multi-resolution metric history whose
+//!   downsample aggregates merge *exactly* in any order.
+//! - [`detect`] — O(1)-per-sample streaming detectors (EWMA drift,
+//!   CUSUM change-point, windowed rate-spike), pure integer state.
+//! - [`health`] — the analytics tier: detector banks over port drift
+//!   and relock rates, a [`HealthScorer`] rollup, and the
+//!   preemptive-maintenance advisor (the §3.2.2 "repair before it
+//!   fails" loop as a library).
 //!
 //! [`FleetTelemetry`] bundles the four stores for the common case. The
 //! [`Severity`] scale defined here is re-exported by `lightwave-ocs` as
@@ -65,24 +73,38 @@
 #![warn(missing_docs)]
 
 pub mod alarms;
+pub mod detect;
 pub mod events;
 pub mod export;
 pub mod fleet;
+pub mod health;
 pub mod histogram;
 pub mod metrics;
 pub mod severity;
 pub mod slo;
+pub mod timeseries;
 
 pub use alarms::{
-    AggregatorConfig, AlarmAggregator, AlarmCause, AlarmRecord, CauseClass, Incident, IngestOutcome,
+    AggregatorConfig, AlarmAggregator, AlarmCause, AlarmRecord, CauseClass, Incident,
+    IngestOutcome, TrendSignal,
 };
+pub use detect::{Cusum, CusumConfig, EwmaConfig, EwmaDrift, RateSpike, RateSpikeConfig};
 pub use events::{Event, EventBus, EventKind, EventSubscriber};
 pub use export::JsonlRecord;
 pub use fleet::FleetTelemetry;
+pub use health::{
+    FleetHealth, FleetHealthReport, HealthConfig, HealthScorer, MaintenanceAction, MaintenanceKind,
+    SwitchHealth, TrendTrip, HEALTH_FORMAT,
+};
 pub use histogram::{HistogramSnapshot, LogHistogram};
-pub use metrics::{CounterId, GaugeId, HistogramId, MetricKey, MetricSample, MetricsRegistry};
+pub use metrics::{
+    CounterId, GaugeId, HistogramId, MetricKey, MetricSample, MetricsRegistry, RateWindow,
+};
 pub use severity::Severity;
 pub use slo::{ObjectSlo, SloReport, SloTracker, OCS_AVAILABILITY_TARGET};
+pub use timeseries::{
+    Aggregate, CounterSample, CounterTrack, Sample, SeriesConfig, SeriesId, SeriesStore, TimeSeries,
+};
 
 // Re-exported for the doc example above.
 #[doc(hidden)]

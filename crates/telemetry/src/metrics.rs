@@ -261,6 +261,34 @@ impl MetricsRegistry {
         })
     }
 
+    /// Registers a rate helper: a gauge named `rate_name` that tracks
+    /// `counter`'s per-second rate over fixed windows of `window`.
+    ///
+    /// Call [`RateWindow::observe`] from any periodic path (a scrape, a
+    /// health poll); when the window rolls over, the helper publishes
+    /// `delta / elapsed_seconds` computed from the counter's exact
+    /// integer delta — call sites stop hand-rolling per-window rate
+    /// bookkeeping, and the published rate is a pure function of the
+    /// counter history.
+    ///
+    /// # Panics
+    /// Panics if `rate_name` is already registered as a non-gauge.
+    pub fn rate_window(
+        &mut self,
+        counter: CounterId,
+        rate_name: &str,
+        labels: &[(&str, &str)],
+        window: Nanos,
+    ) -> RateWindow {
+        RateWindow {
+            counter,
+            gauge: self.gauge(rate_name, labels),
+            window,
+            last_bucket: 0,
+            last_count: 0,
+        }
+    }
+
     /// Serializable samples of every instrument, name-sorted.
     pub fn samples(&self) -> Vec<(MetricKey, MetricSample, Nanos)> {
         self.iter()
@@ -273,6 +301,44 @@ impl MetricsRegistry {
                 (key.clone(), sample, at)
             })
             .collect()
+    }
+}
+
+/// Derives a per-second rate gauge from a counter over fixed sim-time
+/// windows (see [`MetricsRegistry::rate_window`]).
+///
+/// State is two integers (last window index, last counter value), so the
+/// helper is `Copy`-cheap and fully deterministic: the same counter
+/// history and observe stamps publish the same rates, bit for bit.
+#[derive(Debug, Clone, Copy)]
+pub struct RateWindow {
+    counter: CounterId,
+    gauge: GaugeId,
+    window: Nanos,
+    last_bucket: u64,
+    last_count: u64,
+}
+
+impl RateWindow {
+    /// Re-evaluates the rate at sim time `at`; publishes the companion
+    /// gauge when (and only when) the window has rolled over.
+    pub fn observe(&mut self, metrics: &mut MetricsRegistry, at: Nanos) {
+        let window = self.window.0.max(1);
+        let bucket = at.0 / window;
+        if bucket == self.last_bucket {
+            return;
+        }
+        let count = metrics.counter_value(self.counter);
+        let delta = count - self.last_count;
+        let elapsed_secs = ((bucket - self.last_bucket) * window) as f64 / 1e9;
+        metrics.set(self.gauge, at, delta as f64 / elapsed_secs);
+        self.last_bucket = bucket;
+        self.last_count = count;
+    }
+
+    /// The companion gauge (for reads and tests).
+    pub fn gauge(&self) -> GaugeId {
+        self.gauge
     }
 }
 
@@ -322,6 +388,41 @@ mod tests {
         reg.counter("mid", &[("a", "1")]);
         let names: Vec<&str> = reg.iter().map(|(k, _, _)| k.name.as_str()).collect();
         assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn rate_window_publishes_exact_per_window_rates() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("ocs_relocks_total", &[("switch", "3")]);
+        let mut rate = reg.rate_window(
+            c,
+            "ocs_relock_rate_per_sec",
+            &[("switch", "3")],
+            Nanos::from_secs_f64(1.0),
+        );
+        // 4 relocks in window 0; observed after the roll to window 1.
+        reg.inc(c, Nanos::from_millis(100), 4);
+        rate.observe(&mut reg, Nanos::from_millis(500)); // same window: no-op
+        assert_eq!(reg.gauge_value(rate.gauge()), 0.0);
+        rate.observe(&mut reg, Nanos::from_millis(1200));
+        assert_eq!(reg.gauge_value(rate.gauge()), 4.0);
+        // Quiet for 2 windows, then 6 more: 6 events / 2 s = 3/s.
+        reg.inc(c, Nanos::from_millis(2500), 6);
+        rate.observe(&mut reg, Nanos::from_millis(3100));
+        assert_eq!(reg.gauge_value(rate.gauge()), 3.0);
+        // Determinism: an identical replay publishes identical rates.
+        let replay = |stamps: &[(u64, u64, u64)]| {
+            let mut reg = MetricsRegistry::new();
+            let c = reg.counter("x", &[]);
+            let mut r = reg.rate_window(c, "x_rate", &[], Nanos::from_secs_f64(1.0));
+            for &(inc_at, n, obs_at) in stamps {
+                reg.inc(c, Nanos::from_millis(inc_at), n);
+                r.observe(&mut reg, Nanos::from_millis(obs_at));
+            }
+            reg.gauge_value(r.gauge()).to_bits()
+        };
+        let script = [(100u64, 4u64, 1200u64), (2500, 6, 3100), (3300, 1, 4400)];
+        assert_eq!(replay(&script), replay(&script));
     }
 
     #[test]

@@ -1,0 +1,492 @@
+//! Deterministic fixed-capacity multi-resolution time-series retention.
+//!
+//! The metrics registry ([`crate::metrics`]) keeps only *current* values;
+//! this module retains bounded **history** so detectors and dashboards can
+//! see trends. The design follows the log-histogram discipline of
+//! DESIGN.md §6: samples are quantized to integer micro-units exactly
+//! once at ingest, and every derived aggregate is built from integer
+//! sums and min/max lattice joins — so merging downsample buckets is
+//! *exactly* associative and commutative, and no float ever depends on
+//! arrival order or worker count.
+//!
+//! Retention is two-layered:
+//!
+//! - a **raw ring** of the last `raw_capacity` samples, and
+//! - **power-of-two downsample tiers**: tier `k` buckets samples into
+//!   windows of `base_window << k` nanoseconds, each bucket an exact
+//!   [`Aggregate`], each tier a fixed ring of `tier_capacity` buckets.
+//!
+//! Ingest is O(raw ring + tiers) per sample with no allocation on the
+//! steady state (rings are at capacity).
+
+use crate::metrics::MetricKey;
+use lightwave_units::Nanos;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Micro-units per 1.0 of a sample's native unit (quantization scale).
+pub const SERIES_SCALE: f64 = 1e6;
+
+/// Quantizes a native-unit value to integer micro-units.
+///
+/// This is the *only* float→int boundary in the retention path; it runs
+/// once per ingested sample, so every downstream aggregate is exact.
+pub fn quantize(value: f64) -> i64 {
+    (value * SERIES_SCALE).round() as i64
+}
+
+/// Converts micro-units back to the native unit (display only).
+pub fn dequantize(micros: i64) -> f64 {
+    micros as f64 / SERIES_SCALE
+}
+
+/// One retained sample: a sim-time stamp and a quantized value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Simulation time of the observation.
+    pub at: Nanos,
+    /// Value in integer micro-units (see [`SERIES_SCALE`]).
+    pub value_micros: i64,
+}
+
+/// An exact downsample aggregate: integer sums and lattice joins only.
+///
+/// `merge` is associative and commutative by construction — the same
+/// guarantee the log histogram gives bucket counts — so a bucket built
+/// from samples in any order (or from merged sub-buckets) is
+/// byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Aggregate {
+    /// Samples folded in.
+    pub count: u64,
+    /// Exact integer sum of quantized values.
+    pub sum_micros: i64,
+    /// Smallest quantized value.
+    pub min_micros: i64,
+    /// Largest quantized value.
+    pub max_micros: i64,
+    /// Earliest sample stamp folded in.
+    pub first_at: Nanos,
+    /// Latest sample stamp folded in.
+    pub last_at: Nanos,
+}
+
+impl Aggregate {
+    /// The identity element for [`Aggregate::merge`].
+    pub const EMPTY: Aggregate = Aggregate {
+        count: 0,
+        sum_micros: 0,
+        min_micros: i64::MAX,
+        max_micros: i64::MIN,
+        first_at: Nanos(u64::MAX),
+        last_at: Nanos(0),
+    };
+
+    /// An aggregate of exactly one sample.
+    pub fn from_sample(s: Sample) -> Aggregate {
+        Aggregate {
+            count: 1,
+            sum_micros: s.value_micros,
+            min_micros: s.value_micros,
+            max_micros: s.value_micros,
+            first_at: s.at,
+            last_at: s.at,
+        }
+    }
+
+    /// Exact merge: integer sums plus min/max/first/last lattice joins.
+    pub fn merge(self, other: Aggregate) -> Aggregate {
+        Aggregate {
+            count: self.count + other.count,
+            sum_micros: self.sum_micros + other.sum_micros,
+            min_micros: self.min_micros.min(other.min_micros),
+            max_micros: self.max_micros.max(other.max_micros),
+            first_at: self.first_at.min(other.first_at),
+            last_at: self.last_at.max(other.last_at),
+        }
+    }
+
+    /// Integer mean in micro-units (truncating; `None` when empty).
+    pub fn mean_micros(&self) -> Option<i64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum_micros / self.count as i64)
+        }
+    }
+}
+
+/// One downsample bucket: the window start and its exact aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bucket {
+    /// Window start (`at` floored to the tier window).
+    pub start: Nanos,
+    /// Exact aggregate of every sample in the window.
+    pub agg: Aggregate,
+}
+
+/// Retention shape shared by every series in a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeriesConfig {
+    /// Raw samples retained (ring, oldest evicted first).
+    pub raw_capacity: usize,
+    /// Tier-0 bucket window; tier `k` covers `base_window << k`.
+    pub base_window: Nanos,
+    /// Number of downsample tiers.
+    pub tiers: u32,
+    /// Buckets retained per tier (ring, oldest evicted first).
+    pub tier_capacity: usize,
+}
+
+impl Default for SeriesConfig {
+    fn default() -> SeriesConfig {
+        SeriesConfig {
+            raw_capacity: 256,
+            base_window: Nanos::from_millis(250),
+            tiers: 4,
+            tier_capacity: 64,
+        }
+    }
+}
+
+/// A single bounded multi-resolution series.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    cfg: SeriesConfig,
+    raw: VecDeque<Sample>,
+    tiers: Vec<VecDeque<Bucket>>,
+    total: u64,
+}
+
+impl TimeSeries {
+    /// An empty series with the given retention shape.
+    pub fn new(cfg: SeriesConfig) -> TimeSeries {
+        TimeSeries {
+            cfg,
+            raw: VecDeque::with_capacity(cfg.raw_capacity),
+            tiers: (0..cfg.tiers).map(|_| VecDeque::new()).collect(),
+            total: 0,
+        }
+    }
+
+    /// Ingests one pre-quantized sample.
+    pub fn push_micros(&mut self, at: Nanos, value_micros: i64) {
+        let s = Sample { at, value_micros };
+        if self.raw.len() == self.cfg.raw_capacity {
+            self.raw.pop_front();
+        }
+        self.raw.push_back(s);
+        self.total += 1;
+        for (k, tier) in self.tiers.iter_mut().enumerate() {
+            let window = self.cfg.base_window.0.max(1) << k;
+            let start = Nanos(at.0 / window * window);
+            match tier.back_mut() {
+                Some(b) if b.start == start => b.agg = b.agg.merge(Aggregate::from_sample(s)),
+                Some(b) if start < b.start => {
+                    // Out-of-order stamp: fold into the matching retained
+                    // bucket (merge is order-exact), drop if evicted.
+                    if let Some(b) = tier.iter_mut().find(|b| b.start == start) {
+                        b.agg = b.agg.merge(Aggregate::from_sample(s));
+                    }
+                }
+                _ => {
+                    if tier.len() == self.cfg.tier_capacity {
+                        tier.pop_front();
+                    }
+                    tier.push_back(Bucket {
+                        start,
+                        agg: Aggregate::from_sample(s),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Ingests one native-unit sample (quantized here, exactly once).
+    pub fn push(&mut self, at: Nanos, value: f64) {
+        self.push_micros(at, quantize(value));
+    }
+
+    /// The raw retained samples, oldest first.
+    pub fn raw(&self) -> impl Iterator<Item = &Sample> {
+        self.raw.iter()
+    }
+
+    /// Retained buckets of tier `k`, oldest first.
+    pub fn tier(&self, k: u32) -> impl Iterator<Item = &Bucket> {
+        self.tiers[k as usize].iter()
+    }
+
+    /// Most recent sample, if any.
+    pub fn latest(&self) -> Option<Sample> {
+        self.raw.back().copied()
+    }
+
+    /// Total samples ever ingested (including evicted).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// Handle to a series registered in a [`SeriesStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeriesId(usize);
+
+/// One exported counter sample — the unit of flight-recorder embedding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSample {
+    /// Series identity, rendered Prometheus-style (`name{k=v,...}`).
+    pub series: String,
+    /// Simulation time of the sample.
+    pub at: Nanos,
+    /// Value in integer micro-units.
+    pub value_micros: i64,
+}
+
+/// One Perfetto counter track: a named series plus its raw points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterTrack {
+    /// Track name (the series identity).
+    pub name: String,
+    /// Raw retained points, oldest first.
+    pub points: Vec<Sample>,
+}
+
+/// A keyed collection of series sharing one retention shape.
+///
+/// Mirrors the [`crate::metrics::MetricsRegistry`] access pattern:
+/// get-or-create by name + labels (allocates), then record through the
+/// copy handle [`SeriesId`] (a `Vec` index).
+#[derive(Debug, Clone)]
+pub struct SeriesStore {
+    cfg: SeriesConfig,
+    series: Vec<TimeSeries>,
+    index: BTreeMap<MetricKey, usize>,
+}
+
+impl Default for SeriesStore {
+    fn default() -> SeriesStore {
+        SeriesStore::new(SeriesConfig::default())
+    }
+}
+
+impl SeriesStore {
+    /// An empty store whose series all use `cfg`.
+    pub fn new(cfg: SeriesConfig) -> SeriesStore {
+        SeriesStore {
+            cfg,
+            series: Vec::new(),
+            index: BTreeMap::new(),
+        }
+    }
+
+    /// Registers (or finds) a series by name + labels.
+    pub fn series(&mut self, name: &str, labels: &[(&str, &str)]) -> SeriesId {
+        let key = MetricKey::new(name, labels);
+        if let Some(&i) = self.index.get(&key) {
+            return SeriesId(i);
+        }
+        let i = self.series.len();
+        self.series.push(TimeSeries::new(self.cfg));
+        self.index.insert(key, i);
+        SeriesId(i)
+    }
+
+    /// Ingests one native-unit sample into `id`.
+    pub fn push(&mut self, id: SeriesId, at: Nanos, value: f64) {
+        self.series[id.0].push(at, value);
+    }
+
+    /// Ingests one pre-quantized sample into `id`.
+    pub fn push_micros(&mut self, id: SeriesId, at: Nanos, value_micros: i64) {
+        self.series[id.0].push_micros(at, value_micros);
+    }
+
+    /// Read access to one series.
+    pub fn get(&self, id: SeriesId) -> &TimeSeries {
+        &self.series[id.0]
+    }
+
+    /// Number of registered series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Iterates series in deterministic (name-sorted) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&MetricKey, &TimeSeries)> {
+        self.index.iter().map(|(k, &i)| (k, &self.series[i]))
+    }
+
+    /// The last `per_series` raw samples of every series labeled
+    /// `switch=<switch>` — the blast-radius slice a flight-recorder
+    /// postmortem embeds. Deterministic: series in name-sorted order,
+    /// samples oldest first.
+    pub fn recent_for_switch(&self, switch: u32, per_series: usize) -> Vec<CounterSample> {
+        let want = switch.to_string();
+        let mut out = Vec::new();
+        for (key, ts) in self.iter() {
+            if !key.labels.iter().any(|(k, v)| k == "switch" && *v == want) {
+                continue;
+            }
+            let n = ts.raw.len();
+            for s in ts.raw.iter().skip(n.saturating_sub(per_series)) {
+                out.push(CounterSample {
+                    series: key.to_string(),
+                    at: s.at,
+                    value_micros: s.value_micros,
+                });
+            }
+        }
+        out
+    }
+
+    /// Every series rendered as a Perfetto counter track (raw points,
+    /// name-sorted order).
+    pub fn tracks(&self) -> Vec<CounterTrack> {
+        self.iter()
+            .map(|(key, ts)| CounterTrack {
+                name: key.to_string(),
+                points: ts.raw.iter().copied().collect(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn quantization_round_trips_at_micro_resolution() {
+        for v in [0.0, 0.25, -3.125, 120.000001] {
+            assert!((dequantize(quantize(v)) - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn raw_ring_evicts_oldest() {
+        let mut ts = TimeSeries::new(SeriesConfig {
+            raw_capacity: 3,
+            ..SeriesConfig::default()
+        });
+        for i in 0..5u64 {
+            ts.push(Nanos(i * 10), i as f64);
+        }
+        let vals: Vec<i64> = ts.raw().map(|s| s.value_micros).collect();
+        assert_eq!(vals, vec![quantize(2.0), quantize(3.0), quantize(4.0)]);
+        assert_eq!(ts.total(), 5);
+    }
+
+    #[test]
+    fn tiers_bucket_by_power_of_two_windows() {
+        let cfg = SeriesConfig {
+            raw_capacity: 16,
+            base_window: Nanos(100),
+            tiers: 2,
+            tier_capacity: 8,
+        };
+        let mut ts = TimeSeries::new(cfg);
+        // Four samples across two tier-0 windows = one tier-1 window.
+        for (t, v) in [(0u64, 1.0), (50, 2.0), (100, 3.0), (150, 4.0)] {
+            ts.push(Nanos(t), v);
+        }
+        let t0: Vec<&Bucket> = ts.tier(0).collect();
+        assert_eq!(t0.len(), 2);
+        assert_eq!(t0[0].agg.count, 2);
+        assert_eq!(t0[1].agg.count, 2);
+        let t1: Vec<&Bucket> = ts.tier(1).collect();
+        assert_eq!(t1.len(), 1);
+        assert_eq!(t1[0].agg.count, 4);
+        assert_eq!(t1[0].agg.sum_micros, quantize(10.0));
+        assert_eq!(t1[0].agg.min_micros, quantize(1.0));
+        assert_eq!(t1[0].agg.max_micros, quantize(4.0));
+    }
+
+    #[test]
+    fn store_dedups_and_filters_by_switch_label() {
+        let mut store = SeriesStore::default();
+        let a = store.series("health_port_drift_db", &[("switch", "3"), ("port", "9")]);
+        let b = store.series("health_port_drift_db", &[("port", "9"), ("switch", "3")]);
+        assert_eq!(a, b, "label order must not mint a new series");
+        let c = store.series("health_relocks", &[("switch", "4")]);
+        store.push(a, Nanos(10), 0.25);
+        store.push(c, Nanos(20), 1.0);
+        let three = store.recent_for_switch(3, 8);
+        assert_eq!(three.len(), 1);
+        assert_eq!(three[0].series, "health_port_drift_db{port=9,switch=3}");
+        assert_eq!(three[0].value_micros, quantize(0.25));
+        assert!(store.recent_for_switch(7, 8).is_empty());
+        assert_eq!(store.tracks().len(), 2);
+    }
+
+    fn agg_of(samples: &[Sample]) -> Aggregate {
+        samples
+            .iter()
+            .fold(Aggregate::EMPTY, |a, &s| a.merge(Aggregate::from_sample(s)))
+    }
+
+    proptest! {
+        /// The tentpole contract: bucket aggregates merge *exactly* in
+        /// any order — fold left, fold right, shuffled, or tree-merged
+        /// from arbitrary splits, the result is identical.
+        #[test]
+        fn aggregate_merge_is_exact_in_any_order(
+            values in proptest::collection::vec((0u64..1_000_000, -500_000i64..500_000), 1..64),
+            split in 0usize..64,
+            shuffle_seed in 0u64..u64::MAX,
+        ) {
+            let samples: Vec<Sample> = values
+                .iter()
+                .map(|&(t, v)| Sample { at: Nanos(t), value_micros: v })
+                .collect();
+            let reference = agg_of(&samples);
+
+            // Arbitrary split point, merged as two sub-aggregates.
+            let cut = split % samples.len();
+            let (lo, hi) = samples.split_at(cut);
+            prop_assert_eq!(agg_of(lo).merge(agg_of(hi)), reference);
+            prop_assert_eq!(agg_of(hi).merge(agg_of(lo)), reference);
+
+            // Deterministic shuffle (splitmix-style LCG walk).
+            let mut shuffled = samples.clone();
+            let mut state = shuffle_seed;
+            for i in (1..shuffled.len()).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let j = (state >> 33) as usize % (i + 1);
+                shuffled.swap(i, j);
+            }
+            prop_assert_eq!(agg_of(&shuffled), reference);
+        }
+
+        /// Tier buckets are themselves exact: the tier-1 bucket equals
+        /// the merge of its two tier-0 children, whatever the input.
+        #[test]
+        fn downsample_tiers_merge_exactly(
+            values in proptest::collection::vec(-1000.0f64..1000.0, 1..40),
+        ) {
+            let cfg = SeriesConfig {
+                raw_capacity: 64,
+                base_window: Nanos(100),
+                tiers: 2,
+                tier_capacity: 64,
+            };
+            let mut ts = TimeSeries::new(cfg);
+            for (i, &v) in values.iter().enumerate() {
+                ts.push(Nanos(i as u64 * 37), v);
+            }
+            for b1 in ts.tier(1) {
+                let children = ts
+                    .tier(0)
+                    .filter(|b0| b0.start.0 / 200 * 200 == b1.start.0)
+                    .fold(Aggregate::EMPTY, |a, b| a.merge(b.agg));
+                prop_assert_eq!(children, b1.agg);
+            }
+        }
+    }
+}

@@ -13,6 +13,7 @@
 
 use crate::span::{Lane, SpanRecord};
 use crate::tracer::Tracer;
+use lightwave_telemetry::CounterTrack;
 use serde::ser::{Serialize, Serializer};
 use serde::Content;
 
@@ -130,12 +131,45 @@ impl Serialize for TraceJson {
     }
 }
 
+/// `"C"` counter events render fleet-health series (drift, relock
+/// totals) as counter tracks under the control-plane process, aligned
+/// with the span timeline. Values are dequantized from the series'
+/// integer micro-units, so the emitted text is a pure function of the
+/// retained samples.
+fn counter_events(tracks: &[CounterTrack], out: &mut Vec<Content>) {
+    let (pid, tid) = Lane::Control.pid_tid();
+    for track in tracks {
+        for p in &track.points {
+            out.push(obj(vec![
+                ("name", str_c(track.name.clone())),
+                ("cat", str_c("counter")),
+                ("ph", str_c("C")),
+                ("ts", micros(p.at.0)),
+                ("pid", u64_c(pid)),
+                ("tid", u64_c(tid)),
+                (
+                    "args",
+                    obj(vec![("value", Content::F64(p.value_micros as f64 / 1e6))]),
+                ),
+            ]));
+        }
+    }
+}
+
 /// Renders the tracer's completed spans and instants as a Chrome
 /// trace-event JSON document (open it at <https://ui.perfetto.dev>).
 ///
 /// Open spans are *not* exported — end them first; the flight recorder
 /// is the tool for mid-flight state.
 pub fn to_chrome_trace(tracer: &Tracer) -> String {
+    to_chrome_trace_with_counters(tracer, &[])
+}
+
+/// [`to_chrome_trace`] plus counter tracks (`"C"` events) — pass
+/// [`SeriesStore::tracks`](lightwave_telemetry::SeriesStore::tracks) or
+/// [`FleetHealth::counter_tracks`](lightwave_telemetry::FleetHealth::counter_tracks)
+/// to see the health time-series alongside the causal span timeline.
+pub fn to_chrome_trace_with_counters(tracer: &Tracer, counters: &[CounterTrack]) -> String {
     let mut events = Vec::new();
     metadata_events(&tracer.lanes(), &mut events);
     let spans = tracer.spans();
@@ -155,6 +189,7 @@ pub fn to_chrome_trace(tracer: &Tracer) -> String {
             ("tid", u64_c(tid)),
         ]));
     }
+    counter_events(counters, &mut events);
     let doc = obj(vec![
         ("displayTimeUnit", str_c("ms")),
         ("traceEvents", Content::Seq(events)),
@@ -240,5 +275,35 @@ mod tests {
         assert!(stats.metadata >= 3, "process + thread names");
         assert_eq!(stats.flows, 2, "one s + one f");
         assert_eq!(stats.instants, 1);
+        assert_eq!(stats.counters, 0);
+    }
+
+    #[test]
+    fn counter_tracks_export_as_c_events() {
+        use lightwave_telemetry::{Sample, SeriesStore};
+        let mut store = SeriesStore::default();
+        let id = store.series("health_port_drift_db", &[("switch", "4")]);
+        store.push_micros(id, Nanos(1_000), 30_000);
+        store.push_micros(id, Nanos(2_000), 60_000);
+        let tracks = store.tracks();
+        assert_eq!(tracks[0].points.len(), 2);
+        assert_eq!(
+            tracks[0].points[0],
+            Sample {
+                at: Nanos(1_000),
+                value_micros: 30_000
+            }
+        );
+        let json = to_chrome_trace_with_counters(&sample_tracer(), &tracks);
+        let stats = crate::validate::validate_chrome_trace(&json).expect("valid");
+        assert_eq!(stats.counters, 2);
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("health_port_drift_db"));
+        assert!(json.contains("\"value\":0.03"), "dequantized micro-units");
+        // Plain export is the zero-counter case of the same path.
+        assert_eq!(
+            to_chrome_trace(&sample_tracer()),
+            to_chrome_trace_with_counters(&sample_tracer(), &[])
+        );
     }
 }

@@ -14,7 +14,8 @@
 use crate::span::SpanRecord;
 use crate::tracer::Tracer;
 use lightwave_telemetry::{
-    AlarmAggregator, Event, EventBus, FleetTelemetry, IngestOutcome, Severity,
+    AlarmAggregator, CounterSample, Event, EventBus, FleetTelemetry, IngestOutcome, SeriesStore,
+    Severity,
 };
 use lightwave_units::Nanos;
 use serde::{Deserialize, Serialize};
@@ -40,12 +41,18 @@ pub struct FlightDump {
     pub at: Nanos,
     /// The ring contents, oldest first.
     pub entries: Vec<FlightEntry>,
+    /// Recent health counter samples for the incident's blast radius
+    /// (empty unless the dump was taken via
+    /// [`FlightRecorder::poll_with_series`]).
+    pub counters: Vec<CounterSample>,
 }
 
 impl FlightDump {
     /// Serializes the bundle as JSON-lines: one header object, then one
     /// object per entry, oldest first — the format
-    /// [`crate::validate::validate_flight_jsonl`] checks in CI.
+    /// [`crate::validate::validate_flight_jsonl`] checks in CI. When the
+    /// dump embeds counter samples, they follow the entries, one line
+    /// each.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         let header = serde_json::to_string(&FlightHeader {
@@ -53,12 +60,17 @@ impl FlightDump {
             severity: self.severity,
             at: self.at,
             entries: self.entries.len() as u64,
+            counters: self.counters.len() as u64,
         })
         .expect("header serializes");
         out.push_str(&header);
         out.push('\n');
         for entry in &self.entries {
             out.push_str(&serde_json::to_string(entry).expect("entries serialize"));
+            out.push('\n');
+        }
+        for sample in &self.counters {
+            out.push_str(&serde_json::to_string(sample).expect("samples serialize"));
             out.push('\n');
         }
         out
@@ -71,6 +83,7 @@ struct FlightHeader {
     severity: Severity,
     at: Nanos,
     entries: u64,
+    counters: u64,
 }
 
 /// The bounded-ring flight recorder.
@@ -171,12 +184,19 @@ impl FlightRecorder {
         self.event_cursor = bus.published();
     }
 
-    fn dump_incident(&mut self, incident: u64, severity: Severity, at: Nanos) {
+    fn dump_incident(
+        &mut self,
+        incident: u64,
+        severity: Severity,
+        at: Nanos,
+        counters: Vec<CounterSample>,
+    ) {
         self.dumps.push(FlightDump {
             incident,
             severity,
             at,
             entries: self.ring.iter().cloned().collect(),
+            counters,
         });
         self.dumped.insert(incident);
     }
@@ -190,7 +210,7 @@ impl FlightRecorder {
         let id = outcome.incident();
         let inc = alarms.incident(id)?;
         if inc.severity == Severity::Critical && !self.dumped.contains(&id) {
-            self.dump_incident(id, inc.severity, inc.last_at);
+            self.dump_incident(id, inc.severity, inc.last_at, Vec::new());
             return Some(id);
         }
         None
@@ -203,11 +223,38 @@ impl FlightRecorder {
     /// Critical that was raised *and cleared* between polls — the
     /// never-drop-Critical contract. Returns the incidents dumped now.
     pub fn poll(&mut self, tracer: &Tracer, telemetry: &FleetTelemetry) -> Vec<u64> {
+        self.poll_impl(tracer, telemetry, None)
+    }
+
+    /// [`Self::poll`], but each new dump also embeds the last
+    /// `per_series` retained samples of every health series labeled with
+    /// the incident's switch — the postmortem bundle answers "what were
+    /// the drift/relock counters doing just before this went Critical?"
+    /// without a second tool.
+    pub fn poll_with_series(
+        &mut self,
+        tracer: &Tracer,
+        telemetry: &FleetTelemetry,
+        store: &SeriesStore,
+        per_series: usize,
+    ) -> Vec<u64> {
+        self.poll_impl(tracer, telemetry, Some((store, per_series)))
+    }
+
+    fn poll_impl(
+        &mut self,
+        tracer: &Tracer,
+        telemetry: &FleetTelemetry,
+        series: Option<(&SeriesStore, usize)>,
+    ) -> Vec<u64> {
         self.sync(tracer, &telemetry.events);
         let mut dumped_now = Vec::new();
         for inc in telemetry.alarms.incidents() {
             if inc.severity == Severity::Critical && !self.dumped.contains(&inc.id) {
-                self.dump_incident(inc.id, inc.severity, inc.last_at);
+                let counters = series
+                    .map(|(store, n)| store.recent_for_switch(inc.switch, n))
+                    .unwrap_or_default();
+                self.dump_incident(inc.id, inc.severity, inc.last_at, counters);
                 dumped_now.push(inc.id);
             }
         }
@@ -359,5 +406,37 @@ mod tests {
         let lines = crate::validate::validate_flight_jsonl(&jsonl).expect("parseable");
         assert_eq!(lines, 1 + 5 + 1, "header + 5 spans + 1 event");
         assert!(jsonl.contains("MirrorSettle"), "phase chain in the bundle");
+    }
+
+    #[test]
+    fn poll_with_series_embeds_blast_radius_counters() {
+        let mut telemetry = FleetTelemetry::new();
+        let tracer = Tracer::new(6);
+        let mut rec = FlightRecorder::new(16);
+        // Health series for two switches; only the incident's switch
+        // lands in the bundle.
+        let mut store = SeriesStore::default();
+        let hot = store.series("health_port_drift_db", &[("port", "3"), ("switch", "7")]);
+        let cold = store.series("health_port_drift_db", &[("port", "3"), ("switch", "8")]);
+        for i in 0..6i64 {
+            store.push_micros(hot, Nanos(i as u64 * 100), 30_000 * (i + 1));
+            store.push_micros(cold, Nanos(i as u64 * 100), 10_000);
+        }
+        telemetry.ingest_alarm(AlarmRecord {
+            at: Nanos(700),
+            severity: Severity::Critical,
+            switch: 7,
+            cause: AlarmCause::ChassisDown,
+        });
+        let dumped = rec.poll_with_series(&tracer, &telemetry, &store, 4);
+        assert_eq!(dumped.len(), 1);
+        let dump = rec.latest_dump().expect("dump");
+        assert_eq!(dump.counters.len(), 4, "last 4 samples of the hot switch");
+        assert!(dump.counters.iter().all(|c| c.series.contains("switch=7")));
+        assert_eq!(dump.counters.last().unwrap().value_micros, 180_000);
+        let jsonl = dump.to_jsonl();
+        let lines = crate::validate::validate_flight_jsonl(&jsonl).expect("parseable");
+        assert_eq!(lines, 1 + 1 + 4, "header + 1 event + 4 counter samples");
+        assert!(jsonl.contains("\"counters\":4"));
     }
 }

@@ -25,12 +25,14 @@ pub struct TraceStats {
     pub flows: usize,
     /// `"i"` instant events.
     pub instants: usize,
+    /// `"C"` counter events (health time-series tracks).
+    pub counters: usize,
 }
 
 impl TraceStats {
     /// Total events validated.
     pub fn total(&self) -> usize {
-        self.complete + self.metadata + self.flows + self.instants
+        self.complete + self.metadata + self.flows + self.instants + self.counters
     }
 }
 
@@ -136,6 +138,19 @@ pub fn validate_chrome_trace(json: &str) -> Result<TraceStats, String> {
                 require_number(event, "ts", i)?;
                 stats.instants += 1;
             }
+            "C" => {
+                require_number(event, "ts", i)?;
+                let args = event
+                    .field("args")
+                    .ok_or_else(|| format!("event {i}: counter without args"))?;
+                let values = args
+                    .as_map("counter args")
+                    .map_err(|e| format!("event {i}: {e}"))?;
+                if values.is_empty() {
+                    return Err(format!("event {i}: counter args must carry a value"));
+                }
+                stats.counters += 1;
+            }
             other => return Err(format!("event {i}: unsupported phase {other:?}")),
         }
     }
@@ -188,7 +203,8 @@ mod tests {
             {"name":"s1","cat":"c","ph":"X","ts":0.5,"dur":2,"pid":1,"tid":1},
             {"name":"follows","cat":"flow","ph":"s","id":"a","ts":1,"pid":1,"tid":1},
             {"name":"follows","cat":"flow","ph":"f","bp":"e","id":"a","ts":2,"pid":1,"tid":1},
-            {"name":"mark","ph":"i","s":"t","ts":3,"pid":1,"tid":1}]}"#;
+            {"name":"mark","ph":"i","s":"t","ts":3,"pid":1,"tid":1},
+            {"name":"drift","cat":"counter","ph":"C","ts":4,"pid":1,"tid":1,"args":{"value":0.03}}]}"#;
         let stats = validate_chrome_trace(doc).expect("valid");
         assert_eq!(
             stats,
@@ -196,10 +212,25 @@ mod tests {
                 complete: 1,
                 metadata: 1,
                 flows: 2,
-                instants: 1
+                instants: 1,
+                counters: 1
             }
         );
-        assert_eq!(stats.total(), 5);
+        assert_eq!(stats.total(), 6);
+    }
+
+    #[test]
+    fn counter_without_value_is_rejected() {
+        let doc = r#"{"displayTimeUnit":"ms","traceEvents":[
+            {"name":"drift","ph":"C","ts":4,"pid":1,"tid":1,"args":{}}]}"#;
+        assert!(validate_chrome_trace(doc)
+            .unwrap_err()
+            .contains("counter args must carry a value"));
+        let no_args = r#"{"displayTimeUnit":"ms","traceEvents":[
+            {"name":"drift","ph":"C","ts":4,"pid":1,"tid":1}]}"#;
+        assert!(validate_chrome_trace(no_args)
+            .unwrap_err()
+            .contains("counter without args"));
     }
 
     #[test]

@@ -13,7 +13,8 @@ use crate::dsp::DspConfig;
 use crate::fleet::FleetCensus;
 use lightwave_optics::modulation::LaneRate;
 use lightwave_telemetry::{
-    AlarmCause, AlarmRecord, CounterId, EventKind, FleetTelemetry, GaugeId, HistogramId, Severity,
+    AlarmCause, AlarmRecord, CounterId, EventKind, FleetTelemetry, GaugeId, HistogramId,
+    RateWindow, Severity,
 };
 use lightwave_units::Nanos;
 
@@ -26,6 +27,7 @@ pub struct XcvrInstruments {
     kp4_violations: CounterId,
     median_margin_orders: GaugeId,
     rate_fallbacks: CounterId,
+    fallback_rate: RateWindow,
 }
 
 impl XcvrInstruments {
@@ -33,12 +35,19 @@ impl XcvrInstruments {
     pub fn register(sink: &mut FleetTelemetry, family: &str) -> XcvrInstruments {
         let labels: &[(&str, &str)] = &[("family", family)];
         let m = &mut sink.metrics;
+        let rate_fallbacks = m.counter("xcvr_rate_fallbacks_total", labels);
         XcvrInstruments {
             lane_ber: m.histogram("xcvr_lane_ber", labels),
             lanes_sampled: m.counter("xcvr_lanes_sampled_total", labels),
             kp4_violations: m.counter("xcvr_kp4_violations_total", labels),
             median_margin_orders: m.gauge("xcvr_median_margin_orders", labels),
-            rate_fallbacks: m.counter("xcvr_rate_fallbacks_total", labels),
+            rate_fallbacks,
+            fallback_rate: m.rate_window(
+                rate_fallbacks,
+                "xcvr_rate_fallbacks_per_sec",
+                labels,
+                Nanos::from_secs_f64(1.0),
+            ),
         }
     }
 
@@ -97,6 +106,7 @@ impl XcvrInstruments {
                 cause: AlarmCause::RateFallback { port },
             });
         }
+        self.fallback_rate.observe(&mut sink.metrics, at);
         negotiated
     }
 }
@@ -148,6 +158,21 @@ mod tests {
             }
         )));
         assert_eq!(sink.alarms.pages(), 1);
+    }
+
+    #[test]
+    fn fallback_rate_gauge_publishes_per_window() {
+        let mut sink = FleetTelemetry::new();
+        let mut inst = XcvrInstruments::register(&mut sink, "cwdm4");
+        let new = DspConfig::ml_production();
+        let old = DspConfig::standards_based();
+        for port in 0..3 {
+            inst.record_negotiation(&mut sink, Nanos::from_millis(port as u64), port, &new, &old);
+        }
+        // A negotiation after the 1 s window rolls publishes the rate of
+        // the completed window (3 fallbacks / 1 s).
+        inst.record_negotiation(&mut sink, Nanos::from_secs_f64(1.2), 9, &new, &new);
+        assert_eq!(sink.metrics.gauge_value(inst.fallback_rate.gauge()), 3.0);
     }
 
     #[test]
