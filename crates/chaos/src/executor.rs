@@ -15,7 +15,8 @@ use lightwave_fabric::OcsId;
 use lightwave_ocs::instrument::OcsInstruments;
 use lightwave_ocs::PortId;
 use lightwave_scheduler::alloc::{Allocator, Pooled};
-use lightwave_superpod::instrument::{trace_compose, trace_release};
+use lightwave_service::{arrival, Mix, PolicyConfig, ServiceCore, ServiceEvent};
+use lightwave_superpod::instrument::{record_resync, trace_compose, trace_release};
 use lightwave_superpod::pod::{SliceHandle, Superpod};
 use lightwave_superpod::slice::{Slice, SliceShape};
 use lightwave_superpod::wiring::SUPERPOD_OCS_COUNT;
@@ -134,9 +135,16 @@ pub struct World {
     /// Set when the event itself did something illegal (release of a
     /// live slice rejected).
     pub action_violation: Option<String>,
+    /// The embedded fabric-as-a-service core, fed by
+    /// [`FaultKind::Arrival`] events. Its admitted slices are mirrored
+    /// into [`World::slices`] so the radix/mapping and admission
+    /// invariants cover them like any harness-composed slice.
+    pub svc: ServiceCore,
     insts: BTreeMap<OcsId, OcsInstruments>,
     cfg: ChaosConfig,
     now: Nanos,
+    world_seed: u64,
+    svc_release_failed_seen: u64,
     composes: u32,
     releases: u32,
     rejected: u32,
@@ -163,6 +171,15 @@ pub struct ScheduleOutcome {
     /// Fleet-health detector trips (trend anomalies). The clean corpus
     /// must keep this at zero — a trip there is a false positive.
     pub trend_trips: u32,
+    /// Service requests admitted by the embedded fabric-as-a-service
+    /// core (nonzero only for schedules carrying `Arrival` events).
+    pub svc_admitted: u64,
+    /// Service requests blocked at the admission-queue bound.
+    pub svc_blocked: u64,
+    /// Service slices preempted by higher-priority admissions.
+    pub svc_preempted: u64,
+    /// Service requests that served their full hold.
+    pub svc_completed: u64,
     /// The first invariant violation, if any.
     pub violation: Option<Violation>,
 }
@@ -191,9 +208,18 @@ impl World {
             synced: (0..SUPERPOD_OCS_COUNT as OcsId).collect(),
             models,
             action_violation: None,
+            // A deliberately tight queue bound: with a dozen-odd
+            // arrivals per schedule, 256 would never block and the
+            // QueueFull path would go untested under faults.
+            svc: ServiceCore::new(PolicyConfig {
+                queue_limit: 4,
+                preemption: true,
+            }),
             insts,
             cfg: ChaosConfig::default(),
             now: Nanos(0),
+            world_seed,
+            svc_release_failed_seen: 0,
             composes: 0,
             releases: 0,
             rejected: 0,
@@ -292,6 +318,7 @@ impl World {
         }
         // Anti-entropy: a revived switch reconciles its stale mapping.
         let reports = self.pod.resync();
+        record_resync(&mut self.telemetry, 0, self.now, &reports);
         for (id, result) in reports {
             if let Ok(report) = result {
                 let inst = self.insts.get_mut(&id).expect("registered switch");
@@ -303,6 +330,68 @@ impl World {
                     &report,
                 );
             }
+        }
+    }
+
+    /// Folds service-core events into the harness model: admitted slices
+    /// join [`World::slices`] so the radix/mapping and admission
+    /// invariants cover them like harness-composed slices; completions
+    /// and preemptions leave it; a pod-refused service release raises
+    /// the same capacity-leak flag as a refused harness release.
+    fn absorb_service(&mut self, evs: Vec<ServiceEvent>) {
+        for ev in evs {
+            match ev {
+                ServiceEvent::Admitted {
+                    at,
+                    handle,
+                    slice,
+                    report,
+                    ..
+                } => {
+                    let cubes = slice.cubes.len() as u32;
+                    trace_compose(&mut self.tracer, None, 0, at, cubes, &report);
+                    self.slices.push(LiveSlice {
+                        handle,
+                        slice,
+                        traffic_ready_at: report.traffic_ready_at,
+                        admitted: false,
+                    });
+                    self.composes += 1;
+                }
+                ServiceEvent::Completed {
+                    at,
+                    handle,
+                    cubes,
+                    report,
+                    ..
+                } => {
+                    trace_release(&mut self.tracer, None, 0, at, cubes, &report);
+                    self.slices.retain(|ls| ls.handle != handle);
+                    self.releases += 1;
+                }
+                ServiceEvent::Preempted {
+                    at, handle, report, ..
+                } => {
+                    let cubes = self
+                        .slices
+                        .iter()
+                        .find(|ls| ls.handle == handle)
+                        .map(|ls| ls.slice.cubes.len() as u32)
+                        .unwrap_or(0);
+                    trace_release(&mut self.tracer, None, 0, at, cubes, &report);
+                    self.slices.retain(|ls| ls.handle != handle);
+                    self.releases += 1;
+                }
+                ServiceEvent::Enqueued { .. } | ServiceEvent::Rejected { .. } => {}
+            }
+        }
+        let failed = self.svc.report().release_failed;
+        if failed > self.svc_release_failed_seen {
+            self.action_violation = Some(format!(
+                "service release rejected ({} so far this schedule)",
+                failed
+            ));
+            self.svc_release_failed_seen = failed;
         }
     }
 
@@ -352,9 +441,15 @@ impl World {
                 }
             }
             FaultKind::Advance { millis } => {
-                let dt = Nanos::from_millis(millis as u64);
-                self.pod.advance(dt);
-                self.now += dt;
+                // Routed through the service core: it advances the pod
+                // in step while completing every service hold that
+                // expires on the way (a no-op pass-through when no
+                // Arrival event ever ran).
+                let target = self.now + Nanos::from_millis(millis as u64);
+                let mut evs = Vec::new();
+                self.svc.advance_to(&mut self.pod, target, &mut evs);
+                self.now = target;
+                self.absorb_service(evs);
             }
             FaultKind::FailFru { ocs, slot } => {
                 self.fru_event(ocs as OcsId, slot as usize, false, false)
@@ -371,6 +466,14 @@ impl World {
                 }
             }
             FaultKind::VerifyReject { ocs } => self.verify_reject(ocs as OcsId),
+            FaultKind::Arrival { nth } => {
+                // Arrival content is pure in (world_seed, nth): dropping
+                // other events never changes what this one submits.
+                let a = arrival(self.world_seed, nth as u64, Mix::Production);
+                let mut evs = Vec::new();
+                self.svc.submit(&mut self.pod, &a.intent, &mut evs);
+                self.absorb_service(evs);
+            }
             FaultKind::LinkFlap { ocs, port } => self.link_alarm(ocs as OcsId, port as u32),
             FaultKind::RelockStorm { ocs, ports } => {
                 for p in 0..ports {
@@ -464,6 +567,7 @@ pub fn run_schedule_world(schedule: &FaultSchedule, cfg: &ChaosConfig) -> (Sched
             break;
         }
     }
+    let svc = w.svc.report();
     let outcome = ScheduleOutcome {
         index: schedule.index,
         events_applied: applied,
@@ -473,6 +577,10 @@ pub fn run_schedule_world(schedule: &FaultSchedule, cfg: &ChaosConfig) -> (Sched
         alarms: w.telemetry.alarms.ingested(),
         critical_dumps: w.recorder.dumps().len() as u32,
         trend_trips: w.health.trips().len() as u32,
+        svc_admitted: svc.classes.iter().map(|c| c.admitted).sum(),
+        svc_blocked: svc.blocked(),
+        svc_preempted: svc.preempted(),
+        svc_completed: svc.completed(),
         violation,
     };
     (outcome, w)
@@ -604,6 +712,46 @@ mod tests {
         let out = run_schedule(&s, &ChaosConfig::default());
         assert!(out.violation.is_none());
         assert_eq!(out.trend_trips, 0, "storms are not trends");
+    }
+
+    #[test]
+    fn clean_service_schedule_runs_violation_free() {
+        let s = FaultSchedule::generate_service(11, 0);
+        assert!(s
+            .events
+            .iter()
+            .any(|e| matches!(e, FaultKind::Arrival { .. })));
+        let (out, w) = run_schedule_world(&s, &ChaosConfig::default());
+        assert!(out.violation.is_none(), "violation: {:?}", out.violation);
+        assert_eq!(out.events_applied as usize, s.events.len());
+        assert!(out.svc_admitted >= 1, "arrivals must admit: {out:?}");
+        w.svc.conservation().expect("requests conserved");
+    }
+
+    #[test]
+    fn service_execution_is_a_pure_function_of_the_schedule() {
+        let s = FaultSchedule::generate_service(11, 2);
+        let a = run_schedule(&s, &ChaosConfig::default());
+        let b = run_schedule(&s, &ChaosConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[ignore = "search harness: run with --ignored --nocapture to scout pin candidates"]
+    fn svc_search() {
+        for seed in [2026u64, 7, 99] {
+            for index in 0..120u64 {
+                let s = FaultSchedule::generate_service(seed, index);
+                let out = run_schedule(&s, &ChaosConfig::default());
+                if out.svc_preempted >= 1 {
+                    println!(
+                        "seed={seed} index={index} preempted={} admitted={} blocked={} completed={} composes={} violation={:?}",
+                        out.svc_preempted, out.svc_admitted, out.svc_blocked,
+                        out.svc_completed, out.composes, out.violation
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -67,6 +67,15 @@ impl HuntReport {
             alarms,
             dumps
         ));
+        let svc_admitted: u64 = self.outcomes.iter().map(|o| o.svc_admitted).sum();
+        let svc_blocked: u64 = self.outcomes.iter().map(|o| o.svc_blocked).sum();
+        let svc_preempted: u64 = self.outcomes.iter().map(|o| o.svc_preempted).sum();
+        let svc_completed: u64 = self.outcomes.iter().map(|o| o.svc_completed).sum();
+        if svc_admitted + svc_blocked + svc_preempted + svc_completed > 0 {
+            out.push_str(&format!(
+                "service: {svc_admitted} admitted, {svc_blocked} blocked, {svc_preempted} preempted, {svc_completed} completed\n"
+            ));
+        }
         let tally = self.tally();
         if tally.is_empty() {
             out.push_str("violations: none\n");
@@ -87,12 +96,24 @@ impl HuntReport {
 /// Runs the hunt on `pool`. Deterministic in everything but wall time:
 /// the same `cfg` yields the same report at any thread count.
 pub fn hunt(pool: &Pool, cfg: &HuntConfig) -> HuntReport {
+    hunt_with(pool, cfg, FaultSchedule::generate)
+}
+
+/// Runs a **service** hunt: schedules come from
+/// [`FaultSchedule::generate_service`], so fabric-as-a-service arrivals
+/// admit, preempt, and complete while hardware faults inject. Same
+/// ordered reduction, same thread-count invariance.
+pub fn hunt_service(pool: &Pool, cfg: &HuntConfig) -> HuntReport {
+    hunt_with(pool, cfg, FaultSchedule::generate_service)
+}
+
+fn hunt_with(pool: &Pool, cfg: &HuntConfig, gen: fn(u64, u64) -> FaultSchedule) -> HuntReport {
     let indices: Vec<u64> = (0..cfg.schedules).collect();
     let chaos = cfg.chaos;
     let seed = cfg.seed;
     let (outcomes, _stats) = pool.map_reduce(
         &indices,
-        |&index, _| vec![run_schedule(&FaultSchedule::generate(seed, index), &chaos)],
+        |&index, _| vec![run_schedule(&gen(seed, index), &chaos)],
         |mut a, b| {
             a.extend(b);
             a
@@ -124,6 +145,29 @@ mod tests {
         for (i, o) in serial.outcomes.iter().enumerate() {
             assert_eq!(o.index, i as u64);
         }
+    }
+
+    #[test]
+    fn service_hunt_is_thread_count_invariant() {
+        let cfg = HuntConfig {
+            seed: 5,
+            schedules: 8,
+            chaos: ChaosConfig::default(),
+        };
+        let serial = hunt_service(&Pool::new(1), &cfg);
+        let parallel = hunt_service(&Pool::new(4), &cfg);
+        assert_eq!(serial, parallel);
+        assert!(
+            serial.outcomes.iter().all(|o| o.violation.is_none()),
+            "clean corpus: {:?}",
+            serial.outcomes.iter().find(|o| o.violation.is_some())
+        );
+        let admitted: u64 = serial.outcomes.iter().map(|o| o.svc_admitted).sum();
+        assert!(admitted > 0, "arrivals admit under faults");
+        assert!(
+            serial.table().contains("service:"),
+            "table shows svc totals"
+        );
     }
 
     #[test]

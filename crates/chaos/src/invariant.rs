@@ -35,6 +35,13 @@ pub enum InvariantKind {
     /// The fabric rejected the release of a live slice — a resource
     /// leak: the control plane must always be able to free capacity.
     ReleaseRejected,
+    /// The service core leaked a request: submitted requests no longer
+    /// partition into queued + running + completed + rejected.
+    ServiceConservation,
+    /// A service request the core believes is running has no live slice
+    /// in the pod (or in the harness model) — admitted-implies-composed
+    /// was broken without a preemption or completion.
+    AdmittedWithoutSlice,
 }
 
 impl std::fmt::Display for InvariantKind {
@@ -46,6 +53,8 @@ impl std::fmt::Display for InvariantKind {
             InvariantKind::SloDowntimeMismatch => "slo-downtime-mismatch",
             InvariantKind::PhaseInterleaving => "phase-interleaving",
             InvariantKind::ReleaseRejected => "release-rejected",
+            InvariantKind::ServiceConservation => "service-conservation",
+            InvariantKind::AdmittedWithoutSlice => "admitted-without-slice",
         };
         f.write_str(s)
     }
@@ -99,6 +108,36 @@ pub fn check_all(w: &World, event_index: u32, event: FaultKind) -> Option<Violat
     }
     if let Some(d) = phases_legal(w) {
         return Some(mk(InvariantKind::PhaseInterleaving, d));
+    }
+    if let Some(d) = w.svc.conservation().err() {
+        return Some(mk(InvariantKind::ServiceConservation, d));
+    }
+    if let Some(d) = service_running_backed(w) {
+        return Some(mk(InvariantKind::AdmittedWithoutSlice, d));
+    }
+    None
+}
+
+/// Invariant (g): every request the service core believes is running
+/// must be backed by a live slice — in the pod's own table *and* in the
+/// harness's independent slice list (which admitted it via
+/// [`ServiceEvent::Admitted`](lightwave_service::ServiceEvent)). A
+/// running request can only leave via completion or preemption, both of
+/// which retire the handle from all three in the same event.
+fn service_running_backed(w: &World) -> Option<String> {
+    for (request, handle, _cubes) in w.svc.running() {
+        if w.pod.slice(handle).is_none() {
+            return Some(format!(
+                "service request {request} is running but handle {} is not live in the pod",
+                handle.0
+            ));
+        }
+        if !w.slices.iter().any(|ls| ls.handle == handle) {
+            return Some(format!(
+                "service request {request} is running but handle {} is unmirrored in the harness",
+                handle.0
+            ));
+        }
     }
     None
 }

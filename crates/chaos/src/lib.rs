@@ -16,7 +16,12 @@
 //!    library after every event.
 //! 3. [`mod@hunt`] fans schedules across a `lightwave-par` pool with
 //!    ordered reduction, so reports are byte-identical at any thread
-//!    count.
+//!    count. [`hunt_service`] runs the fabric-as-a-service variant:
+//!    [`FaultSchedule::generate_service`] schedules interleave slice
+//!    arrivals (driving the executor's embedded
+//!    [`lightwave_service::ServiceCore`]) with hardware faults, and the
+//!    invariant library additionally checks request conservation and
+//!    that every running service request stays backed by a live slice.
 //! 4. [`mod@shrink`] delta-debugs a violating schedule down to a 1-minimal
 //!    event list, and [`repro`] serializes it as runnable JSONL.
 //!
@@ -33,7 +38,7 @@ pub mod shrink;
 pub use executor::{
     run_schedule, run_schedule_world, ChaosConfig, InjectedBug, ScheduleOutcome, World,
 };
-pub use hunt::{hunt, HuntConfig, HuntReport};
+pub use hunt::{hunt, hunt_service, HuntConfig, HuntReport};
 pub use invariant::{check_all, InvariantKind, Violation};
 pub use repro::{parse_repro, write_repro, Repro, REPRO_FORMAT};
 pub use schedule::{FaultKind, FaultSchedule, GEN_OCS_COUNT};

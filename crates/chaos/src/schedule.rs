@@ -113,6 +113,19 @@ pub enum FaultKind {
         /// Extra intrinsic loss, milli-dB.
         mdb: u16,
     },
+    /// A fabric-as-a-service slice request arrives: the executor submits
+    /// arrival `nth` of the world's service stream
+    /// (`lightwave_service::arrival(world_seed, nth, Production)`) to its
+    /// embedded [`lightwave_service::ServiceCore`]. The arrival content
+    /// is a pure function of `(world_seed, nth)` — dropping earlier
+    /// events never changes what a surviving arrival submits, which
+    /// keeps delta-debugging sound. Emitted only by
+    /// [`FaultSchedule::generate_service`], never by the pinned uniform
+    /// [`FaultSchedule::generate`] draw.
+    Arrival {
+        /// Index into the world's service arrival stream.
+        nth: u16,
+    },
 }
 
 /// A deterministic fault schedule: regenerate with
@@ -258,6 +271,78 @@ impl FaultSchedule {
                 events.push(FaultKind::Advance { millis: 250 });
             }
         }
+        FaultSchedule {
+            seed,
+            index,
+            events,
+        }
+    }
+
+    /// Generates service-chaos schedule `index` of the hunt seeded
+    /// `seed`: fabric-as-a-service arrivals interleaved with hardware
+    /// faults, so admission, preemption and completion all run against a
+    /// degrading pod.
+    ///
+    /// Arrivals carry consecutive `nth` values — each one's *content* is
+    /// still a pure function of the world seed, so the shrinker can drop
+    /// any subset without perturbing the rest. The harness-managed slice
+    /// operations (`Compose`/`Release`/`Preempt`) are deliberately
+    /// absent: in these schedules the embedded service core is the sole
+    /// owner of slices, so its bookkeeping invariants stay meaningful.
+    ///
+    /// Same `splitmix` stream discipline as [`FaultSchedule::generate`],
+    /// with its own offset — the uniform draw's distribution is pinned
+    /// and must not change.
+    pub fn generate_service(seed: u64, index: u64) -> FaultSchedule {
+        let mut rng = StdRng::seed_from_u64(lightwave_par::splitmix(seed ^ 0xFAA5_CA11, index));
+        // Enough arrivals that the production mix (≈2.4 cubes each) can
+        // exhaust the 64-cube pod and exercise preemption and queue
+        // blocking, not just admission.
+        let arrivals = rng.random_range(28..=44u16);
+        let mut events = Vec::new();
+        let mut nth = 0u16;
+        // Open with a burst so faults have service slices to land on.
+        while nth < 3 {
+            events.push(FaultKind::Arrival { nth });
+            nth += 1;
+        }
+        while nth < arrivals {
+            let ocs = rng.random_range(0..GEN_OCS_COUNT);
+            events.push(match rng.random_range(0..100u32) {
+                0..=39 => FaultKind::Advance {
+                    millis: *pick(&mut rng, &ADVANCE_MENU_MS),
+                },
+                40..=59 => FaultKind::FailFru {
+                    ocs,
+                    slot: rng.random_range(0..16u8),
+                },
+                60..=74 => FaultKind::ReplaceFru {
+                    ocs,
+                    slot: rng.random_range(0..16u8),
+                },
+                75..=84 => FaultKind::FailMirror {
+                    ocs,
+                    north: rng.random_bool(0.5),
+                    port: rng.random_range(0..64u8),
+                },
+                85..=92 => FaultKind::Maintenance {
+                    ocs,
+                    slot: rng.random_range(0..16u8),
+                },
+                93..=96 => FaultKind::LinkFlap {
+                    ocs,
+                    port: rng.random_range(0..64u8),
+                },
+                _ => FaultKind::VerifyReject { ocs },
+            });
+            if rng.random_bool(0.6) {
+                events.push(FaultKind::Arrival { nth });
+                nth += 1;
+            }
+        }
+        // A settle tail: holds complete under the final fault state.
+        events.push(FaultKind::Advance { millis: 400 });
+        events.push(FaultKind::Advance { millis: 400 });
         FaultSchedule {
             seed,
             index,

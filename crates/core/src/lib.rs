@@ -29,6 +29,7 @@ pub use lightwave_ocs as ocs;
 pub use lightwave_optics as optics;
 pub use lightwave_par as par;
 pub use lightwave_scheduler as scheduler;
+pub use lightwave_service as service;
 pub use lightwave_superpod as superpod;
 pub use lightwave_telemetry as telemetry;
 pub use lightwave_trace as trace;
@@ -41,6 +42,7 @@ pub mod prelude {
     pub use lightwave_dcn::{Mesh, TrafficMatrix};
     pub use lightwave_mlperf::{ChipParams, LlmConfig, SliceOptimizer};
     pub use lightwave_par::{par_map_reduce, par_trials, Pool};
+    pub use lightwave_service::{ServiceConfig, ServiceEngine, SliceIntent};
     pub use lightwave_superpod::{Slice, SliceShape, Superpod};
     pub use lightwave_telemetry::{FleetTelemetry, Severity};
     pub use lightwave_trace::{to_chrome_trace, FlightRecorder, Tracer};

@@ -9,7 +9,8 @@
 //! §4.2.2 loop: detect the slow cube, then reconfigure the slice off it.
 
 use crate::collective_sim::SimOutcome;
-use lightwave_fabric::CommitReport;
+use lightwave_fabric::{CommitError, CommitReport, OcsId};
+use lightwave_ocs::ReconfigReport;
 use lightwave_telemetry::{
     AlarmCause, AlarmRecord, CounterId, EventKind, FleetTelemetry, HistogramId, Severity,
 };
@@ -231,6 +232,46 @@ fn trace_topology_change(
     }
     tracer.end(span, report.traffic_ready_at.max(at));
     span
+}
+
+/// Records one [`Superpod::resync`](crate::Superpod::resync) pass into
+/// the fleet sink. Anti-entropy used to be invisible in telemetry — a
+/// revived switch silently rejoined the fabric between composes. Each
+/// reconciled switch now bumps `pod_resyncs_total{pod=..}` and publishes
+/// an informational [`EventKind::Resync`] event; each switch that stayed
+/// desynced bumps `pod_resync_failures_total{pod=..}`. Returns the
+/// number of switches reconciled.
+pub fn record_resync(
+    sink: &mut FleetTelemetry,
+    pod: u32,
+    at: Nanos,
+    results: &[(OcsId, Result<ReconfigReport, CommitError>)],
+) -> usize {
+    let id = pod.to_string();
+    let labels: &[(&str, &str)] = &[("pod", &id)];
+    let ok = sink.metrics.counter("pod_resyncs_total", labels);
+    let failed = sink.metrics.counter("pod_resync_failures_total", labels);
+    let mut reconciled = 0;
+    for (ocs, result) in results {
+        match result {
+            Ok(report) => {
+                reconciled += 1;
+                sink.metrics.inc(ok, at, 1);
+                sink.events.emit(
+                    at,
+                    &format!("pod-{pod}"),
+                    EventKind::Resync {
+                        switch: *ocs,
+                        added: report.added.len() as u32,
+                        removed: report.removed.len() as u32,
+                        untouched: report.untouched as u32,
+                    },
+                );
+            }
+            Err(_) => sink.metrics.inc(failed, at, 1),
+        }
+    }
+    reconciled
 }
 
 #[cfg(test)]

@@ -83,6 +83,20 @@ pub enum EventKind {
         /// Negotiated lane rate, Gb/s (0 = link dead).
         to_gbps: u32,
     },
+    /// Anti-entropy: a desynced switch was reconciled back to the live
+    /// slice union after revival (`Superpod::resync`). Informational —
+    /// service-level replays use it to see self-healing activity that
+    /// would otherwise be invisible between composes.
+    Resync {
+        /// Switch id that was reconciled.
+        switch: u32,
+        /// Circuits newly established by the reconciliation.
+        added: u32,
+        /// Circuits torn down.
+        removed: u32,
+        /// Circuits already correct.
+        untouched: u32,
+    },
     /// Free-form operator note (maintenance windows etc.).
     Note {
         /// The note text.

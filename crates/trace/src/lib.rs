@@ -63,5 +63,5 @@ pub mod validate;
 
 pub use perfetto::{to_chrome_trace, to_chrome_trace_with_counters};
 pub use recorder::{FlightDump, FlightEntry, FlightRecorder};
-pub use span::{InstantRecord, Lane, ReconfigPhase, SpanId, SpanKind, SpanRecord};
+pub use span::{InstantRecord, Lane, ReconfigPhase, RequestStage, SpanId, SpanKind, SpanRecord};
 pub use tracer::{derive_span_id, reconfig_phase_spans, Tracer};

@@ -62,6 +62,43 @@ impl ReconfigPhase {
     }
 }
 
+/// One stage of a fabric-as-a-service request's lifecycle
+/// (`Enqueue → Admit → Compose → Run → Release`, or `Reject` /
+/// `Preempt` off the happy path). Stages chain with follows-from links
+/// so one request reads as a causal lane through the timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestStage {
+    /// Intent validated and queued, waiting for admission.
+    Enqueue,
+    /// Admission control picked the request (policy decision).
+    Admit,
+    /// The superpod composed the slice (fabric transaction).
+    Compose,
+    /// The slice is live and serving.
+    Run,
+    /// The slice was released after its service time.
+    Release,
+    /// The request was rejected (queue full or invalid intent).
+    Reject,
+    /// The running slice was evicted by a higher-priority request.
+    Preempt,
+}
+
+impl RequestStage {
+    /// Span name for the stage.
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestStage::Enqueue => "svc.enqueue",
+            RequestStage::Admit => "svc.admit",
+            RequestStage::Compose => "svc.compose",
+            RequestStage::Run => "svc.run",
+            RequestStage::Release => "svc.release",
+            RequestStage::Reject => "svc.reject",
+            RequestStage::Preempt => "svc.preempt",
+        }
+    }
+}
+
 /// Typed span payload: which domain operation the span covers.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum SpanKind {
@@ -129,6 +166,14 @@ pub enum SpanKind {
         /// Trials in the shard.
         trials: u64,
     },
+    /// One lifecycle stage of a fabric-as-a-service slice request
+    /// (`lightwave-service`).
+    ServiceRequest {
+        /// Request index in the arrival stream.
+        request: u64,
+        /// Which stage.
+        stage: RequestStage,
+    },
     /// A free-form span.
     Custom {
         /// Span name.
@@ -148,6 +193,7 @@ impl SpanKind {
             SpanKind::SliceRelease { .. } => "pod.release".to_string(),
             SpanKind::FaultRecovery { what } => format!("recovery.{what}"),
             SpanKind::WorkerShard { shard, .. } => format!("shard{shard}"),
+            SpanKind::ServiceRequest { stage, .. } => stage.name().to_string(),
             SpanKind::Custom { name } => name.clone(),
         }
     }
@@ -161,6 +207,7 @@ impl SpanKind {
             SpanKind::SliceCompose { .. } | SpanKind::SliceRelease { .. } => "superpod",
             SpanKind::FaultRecovery { .. } => "recovery",
             SpanKind::WorkerShard { .. } => "par",
+            SpanKind::ServiceRequest { .. } => "service",
             SpanKind::Custom { .. } => "custom",
         }
     }

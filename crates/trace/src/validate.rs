@@ -149,6 +149,16 @@ pub fn validate_chrome_trace(json: &str) -> Result<TraceStats, String> {
                 if values.is_empty() {
                     return Err(format!("event {i}: counter args must carry a value"));
                 }
+                for (key, value) in values {
+                    let numeric =
+                        matches!(value, Content::F64(_) | Content::U64(_) | Content::I64(_));
+                    if !numeric {
+                        return Err(format!(
+                            "event {i}: counter arg {key:?} must be a number, found {}",
+                            value.kind()
+                        ));
+                    }
+                }
                 stats.counters += 1;
             }
             other => return Err(format!("event {i}: unsupported phase {other:?}")),
@@ -231,6 +241,13 @@ mod tests {
         assert!(validate_chrome_trace(no_args)
             .unwrap_err()
             .contains("counter without args"));
+        // Counter tracks render numeric series; a stringly value is a
+        // malformed track, not a unit quirk.
+        let stringly = r#"{"displayTimeUnit":"ms","traceEvents":[
+            {"name":"depth","ph":"C","ts":4,"pid":1,"tid":1,"args":{"value":"3"}}]}"#;
+        assert!(validate_chrome_trace(stringly)
+            .unwrap_err()
+            .contains("must be a number"));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! refused to free a live slice, which is a capacity leak — once a
 //! release fails there is no path that returns those cubes to the pool.
 
-use lightwave::chaos::{run_schedule, ChaosConfig, FaultKind, FaultSchedule};
+use lightwave::chaos::{run_schedule, run_schedule_world, ChaosConfig, FaultKind, FaultSchedule};
 
 /// Bug A: a down switch wedged every pod transaction.
 ///
@@ -75,4 +75,45 @@ fn degraded_port_under_live_circuit_does_not_block_release() {
     assert_eq!(out.events_applied as usize, s.events.len());
     assert_eq!(out.composes, 2);
     assert_eq!(out.releases, 1, "release commits despite the degradation");
+}
+
+/// Preemption under fault, pinned: service schedule `(7, 54)` drives 32
+/// arrivals through a pod taking FRU failures (including an FPGA death
+/// that downs a chassis), stuck mirrors, and maintenance overlapping
+/// reconfiguration — and the admission queue runs hot enough that two
+/// lower-priority slices are evicted for higher-priority admissions.
+///
+/// Every extended invariant must hold throughout: request conservation
+/// (`service-conservation`), running-implies-live-slice
+/// (`admitted-without-slice`), plus the whole pre-service library. The
+/// exact counts pin both the service generator's distribution and the
+/// WFQ/preemption policy — a drift in either fails here first.
+#[test]
+fn preemption_under_fault_stays_invariant_clean() {
+    let s = FaultSchedule::generate_service(7, 54);
+    let faults = s
+        .events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                FaultKind::FailFru { .. }
+                    | FaultKind::FailMirror { .. }
+                    | FaultKind::Maintenance { .. }
+            )
+        })
+        .count();
+    assert!(
+        faults >= 10,
+        "a genuinely hostile schedule: {faults} faults"
+    );
+    let (out, w) = run_schedule_world(&s, &ChaosConfig::default());
+    assert!(out.violation.is_none(), "violation: {:?}", out.violation);
+    assert_eq!(out.events_applied as usize, s.events.len());
+    assert_eq!(out.svc_preempted, 2, "both evictions happen, every run");
+    assert_eq!(out.svc_admitted, 26);
+    assert_eq!(out.svc_completed, 20);
+    w.svc.conservation().expect("requests conserved at the end");
+    // Replay is byte-identical (the repro contract for service hunts).
+    assert_eq!(out, run_schedule(&s, &ChaosConfig::default()));
 }
