@@ -198,8 +198,14 @@ impl World {
             insts.insert(id, OcsInstruments::register(&mut telemetry, id));
             models.insert(id, SwitchModel::new());
         }
+        // Shadow cross-checking makes every chaos schedule a
+        // behavioral-equivalence proof: each incremental commit is
+        // checked against a full desired-state rebuild, panicking (and
+        // thus failing the hunt) on any divergence.
+        let mut pod = Superpod::new(world_seed);
+        pod.set_shadow_check(true);
         World {
-            pod: Superpod::new(world_seed),
+            pod,
             telemetry,
             tracer: Tracer::new(world_seed),
             recorder: FlightRecorder::new(256),
@@ -739,13 +745,25 @@ mod tests {
     #[test]
     #[ignore = "search harness: run with --ignored --nocapture to scout pin candidates"]
     fn svc_search() {
-        for seed in [2026u64, 7, 99] {
-            for index in 0..120u64 {
+        for seed in [2026u64, 7, 99, 1, 3, 5, 11, 13, 17, 23, 42, 54, 77] {
+            for index in 0..200u64 {
                 let s = FaultSchedule::generate_service(seed, index);
+                let faults = s
+                    .events
+                    .iter()
+                    .filter(|e| {
+                        matches!(
+                            e,
+                            FaultKind::FailFru { .. }
+                                | FaultKind::FailMirror { .. }
+                                | FaultKind::Maintenance { .. }
+                        )
+                    })
+                    .count();
                 let out = run_schedule(&s, &ChaosConfig::default());
                 if out.svc_preempted >= 1 {
                     println!(
-                        "seed={seed} index={index} preempted={} admitted={} blocked={} completed={} composes={} violation={:?}",
+                        "seed={seed} index={index} preempted={} admitted={} blocked={} completed={} composes={} faults={faults} violation={:?}",
                         out.svc_preempted, out.svc_admitted, out.svc_blocked,
                         out.svc_completed, out.composes, out.violation
                     );
@@ -757,12 +775,14 @@ mod tests {
     #[test]
     fn skipped_admission_revoke_is_caught() {
         // Compose, settle + admit, then a mirror fault de-verifies a live
-        // circuit; with revocation skipped, invariant (a) must fire.
+        // circuit; with revocation skipped, invariant (a) must fire. The
+        // slice must span two cubes: a single-cube slice's rings are
+        // electrical and give the mirror fault no circuit to de-verify.
         let s = FaultSchedule {
             seed: 1,
             index: 1,
             events: vec![
-                FaultKind::Compose { cubes: 1 },
+                FaultKind::Compose { cubes: 2 },
                 FaultKind::Advance { millis: 400 },
                 FaultKind::FailMirror {
                     ocs: 0,

@@ -51,6 +51,75 @@ impl FabricTarget {
     }
 }
 
+/// An incremental change to one switch: circuits to establish and tear
+/// down, leaving everything else untouched. Unlike a full [`PortMapping`],
+/// a delta carries only what changes — validating and applying it is
+/// O(delta), not O(circuits on the switch).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwitchDelta {
+    /// Circuits to establish (north, south).
+    pub add: Vec<(PortId, PortId)>,
+    /// Circuits to tear down (north ports).
+    pub remove: Vec<PortId>,
+}
+
+impl SwitchDelta {
+    /// True when this delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.add.is_empty() && self.remove.is_empty()
+    }
+}
+
+/// The incremental counterpart of [`FabricTarget`]: per-switch deltas.
+/// Switches not mentioned are guaranteed untouched, and mentioned
+/// switches keep every circuit the delta does not name.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FabricDelta {
+    deltas: BTreeMap<OcsId, SwitchDelta>,
+}
+
+impl FabricDelta {
+    /// An empty delta (a no-op commit).
+    pub fn new() -> FabricDelta {
+        FabricDelta::default()
+    }
+
+    /// The (possibly fresh) delta for one switch.
+    pub fn entry(&mut self, ocs: OcsId) -> &mut SwitchDelta {
+        self.deltas.entry(ocs).or_default()
+    }
+
+    /// The delta for one switch, if declared.
+    pub fn get(&self, ocs: OcsId) -> Option<&SwitchDelta> {
+        self.deltas.get(&ocs)
+    }
+
+    /// Switches touched by this delta, in id order.
+    pub fn switches(&self) -> impl Iterator<Item = OcsId> + '_ {
+        self.deltas.keys().copied()
+    }
+
+    /// Per-switch deltas, in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (OcsId, &SwitchDelta)> {
+        self.deltas.iter().map(|(&id, d)| (id, d))
+    }
+
+    /// True when no switch is touched.
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+
+    /// Circuits established across all switches.
+    pub fn added(&self) -> usize {
+        self.deltas.values().map(|d| d.add.len()).sum()
+    }
+
+    /// Circuits torn down across all switches.
+    pub fn removed(&self) -> usize {
+        self.deltas.values().map(|d| d.remove.len()).sum()
+    }
+}
+
 /// Why a commit was rejected (nothing was applied).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CommitError {
@@ -97,12 +166,23 @@ pub struct CommitReport {
 pub struct FabricController {
     /// The switch fleet.
     pub fleet: OcsFleet,
+    /// Controller clock, advanced in lockstep with the fleet so commits
+    /// that touch no switch still report the current time.
+    now: Nanos,
 }
 
 impl FabricController {
     /// Wraps a fleet.
     pub fn new(fleet: OcsFleet) -> FabricController {
-        FabricController { fleet }
+        FabricController {
+            fleet,
+            now: Nanos(0),
+        }
+    }
+
+    /// Current controller time.
+    pub fn now(&self) -> Nanos {
+        self.now
     }
 
     /// Validates `target` against every named switch without applying.
@@ -153,7 +233,7 @@ impl FabricController {
         let mut untouched = 0;
         let mut added = 0;
         let mut removed = 0;
-        let mut latest = Nanos(0);
+        let mut latest = self.now;
         for id in target.switches() {
             let mapping = target.get(id).expect("declared");
             let ocs = self.fleet.get_mut(id).expect("validated");
@@ -182,8 +262,61 @@ impl FabricController {
         })
     }
 
+    /// Validates an incremental transaction against every named switch
+    /// without applying. Only the delta-established circuits are vetted
+    /// against degraded ports — untouched circuits are never re-checked
+    /// (the same wedge-avoidance contract as [`FabricController::validate`]).
+    pub fn validate_delta(&mut self, delta: &FabricDelta) -> Result<(), CommitError> {
+        for (id, d) in delta.iter() {
+            let ocs = self
+                .fleet
+                .get_mut(id)
+                .ok_or(CommitError::UnknownSwitch(id))?;
+            ocs.validate_delta(&d.add, &d.remove)
+                .map_err(|error| CommitError::Invalid { ocs: id, error })?;
+        }
+        Ok(())
+    }
+
+    /// Validates then applies an incremental transaction. On error nothing
+    /// has been applied. The O(delta) counterpart of
+    /// [`FabricController::commit`]: no switch's full mapping is collected,
+    /// rebuilt, or diffed anywhere on this path.
+    pub fn commit_delta(&mut self, delta: &FabricDelta) -> Result<CommitReport, CommitError> {
+        self.validate_delta(delta)?;
+        let mut per_switch = BTreeMap::new();
+        let mut untouched = 0;
+        let mut added = 0;
+        let mut removed = 0;
+        let mut latest = self.now;
+        for (id, d) in delta.iter() {
+            let ocs = self.fleet.get_mut(id).expect("validated");
+            let report = ocs
+                .apply_delta(&d.add, &d.remove)
+                .map_err(|error| CommitError::Invalid { ocs: id, error })?;
+            untouched += report.untouched;
+            added += report.added.len();
+            removed += report.removed.len();
+            latest = latest.max(report.ready_at);
+            per_switch.insert(id, report);
+        }
+        let traffic_ready_at = if added > 0 {
+            latest + LinkBringup::nominal_duration()
+        } else {
+            latest
+        };
+        Ok(CommitReport {
+            per_switch,
+            untouched,
+            added,
+            removed,
+            traffic_ready_at,
+        })
+    }
+
     /// Advances fabric time.
     pub fn advance(&mut self, dt: Nanos) {
+        self.now += dt;
         self.fleet.advance(dt);
     }
 
@@ -314,6 +447,90 @@ mod tests {
         assert_eq!(report.added, 0);
         assert_eq!(report.untouched, 1);
         assert_eq!(report.traffic_ready_at, before, "no settle needed");
+    }
+
+    #[test]
+    fn delta_commit_applies_only_the_delta() {
+        let mut c = controller(3);
+        let mut t = FabricTarget::new();
+        t.set(0, PortMapping::from_pairs([(0, 1), (2, 3)]).unwrap());
+        t.set(1, PortMapping::from_pairs([(5, 6)]).unwrap());
+        c.commit(&t).unwrap();
+        c.advance(Nanos::from_millis(300));
+        // Delta: move (2, 3) → (2, 4) on switch 0; switch 1 not mentioned.
+        let mut d = FabricDelta::new();
+        d.entry(0).add.push((2, 4));
+        d.entry(0).remove.push(2);
+        let report = c.commit_delta(&d).unwrap();
+        assert_eq!(report.added, 1);
+        assert_eq!(report.removed, 1);
+        assert_eq!(report.untouched, 1, "switch 0's (0,1) kept");
+        assert_eq!(report.per_switch.keys().copied().collect::<Vec<_>>(), [0]);
+        assert!(c.fleet.get(0).unwrap().circuit_ready(0), "never blinked");
+        assert!(c.fleet.get(1).unwrap().circuit_ready(5), "never touched");
+        assert!(report.traffic_ready_at > c.now(), "bring-up still paid");
+    }
+
+    #[test]
+    fn delta_commit_is_atomic_across_switches() {
+        let mut c = controller(2);
+        let mut d = FabricDelta::new();
+        d.entry(0).add.push((0, 1));
+        d.entry(9).add.push((0, 1));
+        assert_eq!(
+            c.commit_delta(&d).unwrap_err(),
+            CommitError::UnknownSwitch(9)
+        );
+        assert_eq!(c.fleet.health().circuits, 0, "atomic: nothing applied");
+        // Same with a down switch late in the iteration order.
+        {
+            let ocs = c.fleet.get_mut(1).unwrap();
+            ocs.fail_fru(0);
+            ocs.fail_fru(1);
+        }
+        let mut d = FabricDelta::new();
+        d.entry(0).add.push((0, 1));
+        d.entry(1).add.push((2, 3));
+        match c.commit_delta(&d).unwrap_err() {
+            CommitError::Invalid { ocs: 1, error } => assert_eq!(error, OcsError::ChassisDown),
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert_eq!(c.fleet.health().circuits, 0, "atomic: nothing applied");
+    }
+
+    #[test]
+    fn empty_delta_commit_reports_current_time() {
+        let mut c = controller(1);
+        c.advance(Nanos::from_millis(250));
+        let report = c.commit_delta(&FabricDelta::new()).unwrap();
+        assert_eq!(report.added + report.removed + report.untouched, 0);
+        assert_eq!(report.traffic_ready_at, Nanos::from_millis(250));
+    }
+
+    #[test]
+    fn delta_commit_skips_degraded_check_for_untouched_circuits() {
+        let mut c = controller(1);
+        let mut t = FabricTarget::new();
+        t.set(0, PortMapping::from_pairs([(0, 10), (40, 50)]).unwrap());
+        c.commit(&t).unwrap();
+        c.advance(Nanos::from_millis(300));
+        // HV driver 0 (ports 0..34) fails under the live (0, 10) circuit.
+        c.fleet.get_mut(0).unwrap().fail_fru(6);
+        // Removing the other circuit still commits: (0, 10) is untouched.
+        let mut d = FabricDelta::new();
+        d.entry(0).remove.push(40);
+        let report = c.commit_delta(&d).unwrap();
+        assert_eq!(report.removed, 1);
+        assert_eq!(report.untouched, 1);
+        // Establishing on the degraded group still rejects.
+        let mut d = FabricDelta::new();
+        d.entry(0).add.push((1, 11));
+        match c.commit_delta(&d).unwrap_err() {
+            CommitError::Invalid { ocs: 0, error } => {
+                assert_eq!(error, OcsError::PortDegraded(1))
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
     }
 
     #[test]

@@ -24,6 +24,8 @@ pub mod fleet;
 pub mod instrument;
 pub mod maintenance;
 
-pub use controller::{CommitError, CommitReport, FabricController, FabricTarget};
+pub use controller::{
+    CommitError, CommitReport, FabricController, FabricDelta, FabricTarget, SwitchDelta,
+};
 pub use fleet::{FleetHealth, OcsFleet, OcsId};
 pub use maintenance::{plan_replacement, MaintenancePlan};

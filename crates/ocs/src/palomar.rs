@@ -95,6 +95,15 @@ pub struct DriftChange {
     pub drift_db: f64,
 }
 
+/// Reusable scratch space for delta validation, kept on the switch so the
+/// steady-state incremental path ([`PalomarOcs::apply_delta`]) allocates
+/// nothing once the buffers have grown to the working delta size.
+#[derive(Debug, Default)]
+struct DeltaScratch {
+    norths: Vec<PortId>,
+    souths: Vec<PortId>,
+}
+
 /// A simulated Palomar optical circuit switch.
 #[derive(Debug)]
 pub struct PalomarOcs {
@@ -112,6 +121,8 @@ pub struct PalomarOcs {
     dead_ports: BTreeSet<PortId>,
     /// Append-only record of per-port drift changes (see [`DriftChange`]).
     drift_log: Vec<DriftChange>,
+    /// Scratch buffers for [`PalomarOcs::apply_delta`] validation.
+    scratch: DeltaScratch,
 }
 
 impl PalomarOcs {
@@ -137,6 +148,7 @@ impl PalomarOcs {
             pending: BTreeMap::new(),
             dead_ports: BTreeSet::new(),
             drift_log: Vec::new(),
+            scratch: DeltaScratch::default(),
         }
     }
 
@@ -270,6 +282,103 @@ impl PalomarOcs {
             removed: delta.remove,
             added: delta.add,
             untouched: delta.unchanged.len(),
+            ready_at,
+        })
+    }
+
+    /// Validates an incremental reconfiguration without applying it:
+    /// `remove` circuits (by north port) must exist, `add` pairs must land
+    /// on usable, structurally free ports once the removes are accounted
+    /// for. Port-usability covers exactly the delta — untouched circuits
+    /// are never re-vetted (the same contract as [`PalomarOcs::apply_mapping`]).
+    ///
+    /// Takes `&mut self` only to reuse the internal scratch buffers; no
+    /// observable state changes.
+    pub fn validate_delta(
+        &mut self,
+        add: &[(PortId, PortId)],
+        remove: &[PortId],
+    ) -> Result<(), OcsError> {
+        if !self.chassis.is_operational() {
+            return Err(OcsError::ChassisDown);
+        }
+        let ports = self.crossbar.ports();
+        for &n in remove {
+            if self.crossbar.circuit(n).is_none() {
+                return Err(CrossbarError::NotConnected(n).into());
+            }
+        }
+        for &(n, s) in add {
+            if n as usize >= ports {
+                return Err(CrossbarError::PortOutOfRange(n).into());
+            }
+            if s as usize >= ports {
+                return Err(CrossbarError::PortOutOfRange(s).into());
+            }
+            self.check_usable(n)?;
+            self.check_usable(s)?;
+            if self.crossbar.circuit(n).is_some() && !remove.contains(&n) {
+                return Err(CrossbarError::NorthBusy(n).into());
+            }
+            if let Some(owner) = self.crossbar.south_owner(s) {
+                if !remove.contains(&owner) {
+                    return Err(CrossbarError::SouthBusy(s).into());
+                }
+            }
+        }
+        // Intra-delta duplicates, caught via the reusable sorted scratch
+        // (clear keeps capacity: zero allocation at steady state).
+        self.scratch.norths.clear();
+        self.scratch.norths.extend(remove.iter().copied());
+        self.scratch.norths.sort_unstable();
+        if let Some(w) = self.scratch.norths.windows(2).find(|w| w[0] == w[1]) {
+            return Err(CrossbarError::NotConnected(w[0]).into());
+        }
+        self.scratch.norths.clear();
+        self.scratch.norths.extend(add.iter().map(|&(n, _)| n));
+        self.scratch.norths.sort_unstable();
+        if let Some(w) = self.scratch.norths.windows(2).find(|w| w[0] == w[1]) {
+            return Err(CrossbarError::NorthBusy(w[0]).into());
+        }
+        self.scratch.souths.clear();
+        self.scratch.souths.extend(add.iter().map(|&(_, s)| s));
+        self.scratch.souths.sort_unstable();
+        if let Some(w) = self.scratch.souths.windows(2).find(|w| w[0] == w[1]) {
+            return Err(CrossbarError::NotBijective { south: w[0] }.into());
+        }
+        Ok(())
+    }
+
+    /// Applies an incremental reconfiguration: tears down the `remove`
+    /// circuits, establishes the `add` pairs, touches nothing else. The
+    /// O(delta) counterpart of [`PalomarOcs::apply_mapping`] — no full
+    /// mapping is collected or diffed, and validation runs on reusable
+    /// scratch buffers. On error nothing has been applied.
+    pub fn apply_delta(
+        &mut self,
+        add: &[(PortId, PortId)],
+        remove: &[PortId],
+    ) -> Result<ReconfigReport, OcsError> {
+        self.validate_delta(add, remove)?;
+        let untouched = self.crossbar.circuit_count() - remove.len();
+        for &n in remove {
+            self.crossbar.disconnect(n).expect("delta validated");
+            self.pending.remove(&n);
+            self.telemetry.counters.disconnects += 1;
+        }
+        let mut ready_at = self.now;
+        for &(n, s) in add {
+            self.crossbar.connect(n, s).expect("delta validated");
+            let ready = self.run_alignment(n);
+            self.telemetry.counters.connects += 1;
+            ready_at = ready_at.max(ready);
+        }
+        self.telemetry.counters.reconfigs += 1;
+        self.telemetry.counters.circuits_preserved += untouched as u64;
+        Ok(ReconfigReport {
+            removed: remove.to_vec(),
+            added: add.to_vec(),
+            untouched,
             ready_at,
         })
     }
@@ -614,6 +723,65 @@ mod tests {
         assert_eq!(c.circuits_preserved, 1); // (0,1) survived
         assert_eq!(c.connects, 3);
         assert_eq!(c.disconnects, 1);
+    }
+
+    #[test]
+    fn apply_delta_touches_only_the_delta() {
+        let mut ocs = PalomarOcs::new(0, 21);
+        ocs.apply_delta(&[(0, 10), (1, 11)], &[]).unwrap();
+        settled(&mut ocs);
+        assert!(ocs.circuit_ready(0) && ocs.circuit_ready(1));
+        // Move (1, 11) → (1, 20), add (2, 12), leave (0, 10) alone.
+        let report = ocs.apply_delta(&[(1, 20), (2, 12)], &[1]).unwrap();
+        assert_eq!(report.untouched, 1);
+        assert_eq!(report.removed, vec![1]);
+        assert_eq!(report.added, vec![(1, 20), (2, 12)]);
+        assert!(ocs.circuit_ready(0), "untouched circuit kept carrying");
+        assert!(!ocs.circuit_ready(1), "moved circuit re-aligns");
+        settled(&mut ocs);
+        assert!(ocs.circuit_ready(1) && ocs.circuit_ready(2));
+        // Matches what apply_mapping on the equivalent target would say.
+        let c = &ocs.telemetry().counters;
+        assert_eq!(c.reconfigs, 2);
+        assert_eq!(c.circuits_preserved, 1);
+    }
+
+    #[test]
+    fn apply_delta_rejects_without_applying() {
+        let mut ocs = PalomarOcs::new(0, 22);
+        ocs.apply_delta(&[(0, 10)], &[]).unwrap();
+        settled(&mut ocs);
+        // South 10 is held by north 0 and the delta does not free it.
+        let err = ocs.apply_delta(&[(5, 10)], &[]).unwrap_err();
+        assert_eq!(err, OcsError::Crossbar(CrossbarError::SouthBusy(10)));
+        // Removing a circuit that does not exist rejects too.
+        let err = ocs.apply_delta(&[], &[7]).unwrap_err();
+        assert_eq!(err, OcsError::Crossbar(CrossbarError::NotConnected(7)));
+        // Intra-delta conflicts are structural errors, not panics.
+        let err = ocs.apply_delta(&[(3, 30), (4, 30)], &[]).unwrap_err();
+        assert_eq!(
+            err,
+            OcsError::Crossbar(CrossbarError::NotBijective { south: 30 })
+        );
+        assert_eq!(ocs.mapping().len(), 1, "nothing applied on any error");
+        assert!(ocs.circuit_ready(0));
+    }
+
+    #[test]
+    fn apply_delta_checks_only_delta_ports() {
+        let mut ocs = PalomarOcs::new(0, 23);
+        ocs.apply_delta(&[(2, 40), (100, 101)], &[]).unwrap();
+        settled(&mut ocs);
+        // HV driver slot 6 fails: ports 0..34 degrade under circuit (2, 40).
+        ocs.fail_fru(6);
+        // A delta leaving the degraded circuit alone still commits.
+        let report = ocs.apply_delta(&[(120, 121)], &[100]).unwrap();
+        assert_eq!(report.untouched, 1);
+        // But a delta (re)establishing on a degraded port rejects.
+        assert_eq!(
+            ocs.apply_delta(&[(3, 50)], &[]).unwrap_err(),
+            OcsError::PortDegraded(3)
+        );
     }
 
     #[test]

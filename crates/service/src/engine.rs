@@ -55,6 +55,11 @@ pub struct ServiceConfig {
     pub shard_size: u64,
     /// Requests (by index) given lifecycle spans in [`ServiceEngine`].
     pub trace_requests: u64,
+    /// Cross-check every incremental commit against a full rebuild of
+    /// the desired state (see `Superpod::set_shadow_check`). Off by
+    /// default: it re-pays the old O(pod) cost per transaction and
+    /// exists for equivalence proofs and in-run perf baselines.
+    pub shadow: bool,
 }
 
 impl Default for ServiceConfig {
@@ -67,6 +72,7 @@ impl Default for ServiceConfig {
             policy: PolicyConfig::default(),
             shard_size: 4_096,
             trace_requests: 0,
+            shadow: false,
         }
     }
 }
@@ -84,6 +90,7 @@ impl ServiceConfig {
 /// returns its report. Pure: same `(cfg, shard)` → same report.
 pub fn run_cell(cfg: &ServiceConfig, shard: Shard) -> ServiceReport {
     let mut pod = Superpod::new(splitmix(cfg.seed ^ CELL_STREAM, shard.index));
+    pod.set_shadow_check(cfg.shadow);
     let mut core = ServiceCore::new(cfg.policy);
     let mut events = Vec::new();
     let mut now = Nanos(0);
@@ -182,9 +189,11 @@ impl ServiceEngine {
             })
             .collect();
         let depth = series.series("svc_queue_depth", &[]);
+        let mut pod = Superpod::new(splitmix(cfg.seed ^ CELL_STREAM, 0));
+        pod.set_shadow_check(cfg.shadow);
         ServiceEngine {
             core: ServiceCore::new(cfg.policy),
-            pod: Superpod::new(splitmix(cfg.seed ^ CELL_STREAM, 0)),
+            pod,
             telemetry,
             tracer: Tracer::new(cfg.seed),
             series,

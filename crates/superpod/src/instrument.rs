@@ -171,7 +171,10 @@ impl CollectiveInstruments {
 /// [`SpanKind::SliceCompose`] on the pod's lane covering
 /// `at..traffic_ready_at`, with each touched switch's
 /// [`SpanKind::ReconfigCommit`] — and its drain → settle → verify →
-/// undrain phase chain — as children. Returns the compose span.
+/// undrain phase chain — as children. Commits are incremental
+/// (DESIGN §6.6), so "touched" means exactly the switches of the
+/// slice's optical dimensions: an all-electrical single-cube compose
+/// renders as a childless instant-width span. Returns the compose span.
 pub fn trace_compose(
     tracer: &mut Tracer,
     parent: Option<SpanId>,

@@ -1,20 +1,23 @@
 //! The [`Superpod`] facade: slices composed and released on a live fabric.
 //!
 //! The pod owns the 48-OCS lightwave fabric and the cube inventory. Every
-//! slice composition is a fabric *transaction*: the pod recomputes the
-//! desired port mapping of all 48 switches from the union of active
-//! slices and commits it — the controller's minimal-delta application
-//! guarantees running slices never blink (§4.2.4: "slices for new model
-//! placements ... can be dynamically scheduled without interfering with
-//! existing models running on a different slice").
+//! slice composition is a fabric *transaction*, committed incrementally:
+//! the pod keeps a persistent desired state — each slice's circuit pairs
+//! (computed once at compose) plus a per-dimension aggregate mapping
+//! maintained by delta — so a transaction touches only the switches whose
+//! mapping actually changes, and carries only the added/removed pairs.
+//! Running slices never blink (§4.2.4: "slices for new model placements
+//! ... can be dynamically scheduled without interfering with existing
+//! models running on a different slice"), and compose/release cost is
+//! O(slice), not O(pod).
 
-use crate::geometry::{CubeId, POD_CUBES};
+use crate::geometry::{CubeId, Dim, LINKS_PER_FACE, POD_CUBES};
 use crate::slice::Slice;
-use crate::wiring::{CubeHop, SUPERPOD_OCS_COUNT};
+use crate::wiring::{ocs_for, ocs_role, SUPERPOD_OCS_COUNT};
 use lightwave_fabric::{
-    CommitError, CommitReport, FabricController, FabricTarget, OcsFleet, OcsId,
+    CommitError, CommitReport, FabricController, FabricDelta, FabricTarget, OcsFleet, OcsId,
 };
-use lightwave_ocs::{PortMapping, ReconfigReport};
+use lightwave_ocs::{PortId, PortMapping, ReconfigReport};
 use lightwave_units::Nanos;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -55,11 +58,26 @@ impl std::fmt::Display for PodError {
 
 impl std::error::Error for PodError {}
 
+/// The circuit pairs a slice pins per torus dimension. The wiring plan
+/// puts identical mappings on all 16 switches of one dimension, so one
+/// pair list per dimension fully describes a slice's optical footprint.
+type DimPairs = [Vec<(PortId, PortId)>; 3];
+
 /// A TPU v4 superpod: 64 cubes + 48 OCSes.
 #[derive(Debug)]
 pub struct Superpod {
     fabric: FabricController,
     slices: BTreeMap<SliceHandle, Slice>,
+    /// Each slice's circuit pairs per dimension, computed once at compose
+    /// from `required_hops()` and reused for release and shadow checks.
+    slice_pairs: BTreeMap<SliceHandle, DimPairs>,
+    /// The aggregate desired mapping per dimension (all 16 switches of a
+    /// dimension carry the same mapping), maintained by delta — the
+    /// persistent state that makes compose/release O(slice) and resync a
+    /// cheap lookup.
+    desired: [BTreeMap<PortId, PortId>; 3],
+    /// Which slice owns each busy cube (O(log) busy checks and lookups).
+    cube_owner: BTreeMap<CubeId, SliceHandle>,
     failed_cubes: BTreeSet<CubeId>,
     /// Switches that missed a committed transaction (down at the time)
     /// and still carry a stale mapping. Excluded from new transactions
@@ -67,6 +85,10 @@ pub struct Superpod {
     /// degrade slices (§4.2.2), never block compose/release pod-wide.
     desynced: BTreeSet<OcsId>,
     next_handle: u64,
+    /// When set, every successful transaction is cross-checked against a
+    /// full rebuild of the desired state from the slice set (the
+    /// pre-incremental algorithm) — see [`Superpod::set_shadow_check`].
+    shadow_check: bool,
 }
 
 impl Superpod {
@@ -75,10 +97,30 @@ impl Superpod {
         Superpod {
             fabric: FabricController::new(OcsFleet::build(SUPERPOD_OCS_COUNT, seed)),
             slices: BTreeMap::new(),
+            slice_pairs: BTreeMap::new(),
+            desired: Default::default(),
+            cube_owner: BTreeMap::new(),
             failed_cubes: BTreeSet::new(),
             desynced: BTreeSet::new(),
             next_handle: 1,
+            shadow_check: false,
         }
+    }
+
+    /// Enables (or disables) shadow cross-checking: after every successful
+    /// compose/release/resync the incremental desired state is compared
+    /// against a full rebuild from the slice set, and every up, in-sync
+    /// switch's live mapping against the desired aggregate — panicking on
+    /// any divergence. This deliberately re-pays the old O(pod) cost per
+    /// transaction; it is the behavioral-equivalence oracle for the chaos
+    /// corpus and the in-run baseline for the perf gate.
+    pub fn set_shadow_check(&mut self, on: bool) {
+        self.shadow_check = on;
+    }
+
+    /// Whether shadow cross-checking is enabled.
+    pub fn shadow_check(&self) -> bool {
+        self.shadow_check
     }
 
     /// The fabric controller (telemetry, health, time).
@@ -93,13 +135,8 @@ impl Superpod {
 
     /// Cubes not in any slice and not failed.
     pub fn idle_cubes(&self) -> Vec<CubeId> {
-        let busy: BTreeSet<CubeId> = self
-            .slices
-            .values()
-            .flat_map(|s| s.cubes.iter().copied())
-            .collect();
         (0..POD_CUBES as CubeId)
-            .filter(|c| !busy.contains(c) && !self.failed_cubes.contains(c))
+            .filter(|c| !self.cube_owner.contains_key(c) && !self.failed_cubes.contains(c))
             .collect()
     }
 
@@ -132,49 +169,111 @@ impl Superpod {
 
     /// The slice (if any) containing a cube.
     pub fn slice_of_cube(&self, cube: CubeId) -> Option<SliceHandle> {
-        self.slices
-            .iter()
-            .find(|(_, s)| s.cubes.contains(&cube))
-            .map(|(&h, _)| h)
+        self.cube_owner.get(&cube).copied()
     }
 
-    /// The desired mapping of one switch under the slice set `slices`.
-    fn desired_mapping(slices: &BTreeMap<SliceHandle, Slice>, ocs: OcsId) -> PortMapping {
-        let mut pairs: Vec<(u16, u16)> = Vec::new();
-        for slice in slices.values() {
-            for hop in slice.required_hops() {
-                let CubeHop { .. } = hop;
-                for c in hop.circuits() {
-                    if c.ocs == ocs {
-                        pairs.push((c.north, c.south));
-                    }
+    /// The circuit pairs a slice pins per dimension, sorted by north port
+    /// for deterministic delta ordering. Single-cube dimensions contribute
+    /// nothing (their rings are electrical).
+    fn pairs_for(slice: &Slice) -> DimPairs {
+        let mut pairs: DimPairs = Default::default();
+        for hop in slice.required_hops() {
+            if let Some(p) = hop.pair() {
+                pairs[hop.dim.index()].push(p);
+            }
+        }
+        for list in &mut pairs {
+            list.sort_unstable();
+        }
+        pairs
+    }
+
+    /// The incremental transaction establishing (`add = true`) or tearing
+    /// down (`add = false`) one slice's pairs: only switches of dimensions
+    /// the slice actually spans are touched, and each carries only the
+    /// slice's own pairs. Down and desynced switches are skipped (returned
+    /// separately) so one failed chassis cannot veto pod-wide transactions.
+    fn delta_for(&self, pairs: &DimPairs, add: bool) -> (FabricDelta, BTreeSet<OcsId>) {
+        let mut delta = FabricDelta::new();
+        let mut skipped = BTreeSet::new();
+        for dim in Dim::ALL {
+            let list = &pairs[dim.index()];
+            if list.is_empty() {
+                continue;
+            }
+            for k in 0..LINKS_PER_FACE {
+                let ocs = ocs_for(dim, k);
+                let up = self
+                    .fabric
+                    .fleet
+                    .get(ocs)
+                    .map(|s| s.is_up())
+                    .unwrap_or(false);
+                if !up || self.desynced.contains(&ocs) {
+                    skipped.insert(ocs);
+                    continue;
+                }
+                let d = delta.entry(ocs);
+                if add {
+                    d.add.extend_from_slice(list);
+                } else {
+                    d.remove.extend(list.iter().map(|&(n, _)| n));
                 }
             }
         }
-        PortMapping::from_pairs(pairs).expect("disjoint slices produce disjoint port sets")
+        (delta, skipped)
     }
 
-    /// The fabric target realizing all slices in `slices`, restricted to
-    /// switches that can take it: down and desynced switches are skipped
-    /// (returned separately) so one failed chassis cannot veto pod-wide
-    /// transactions.
-    fn target_for(&self, slices: &BTreeMap<SliceHandle, Slice>) -> (FabricTarget, BTreeSet<OcsId>) {
+    /// Shadow cross-check (see [`Superpod::set_shadow_check`]): runs the
+    /// pre-incremental algorithm for real. The desired state is rebuilt
+    /// from scratch from the slice set and checked against the
+    /// delta-maintained aggregate; then the full per-switch target is
+    /// committed through the fabric exactly the way the old control plane
+    /// committed every transaction — and that commit must be a no-op,
+    /// proving every up, in-sync switch already carries byte-identically
+    /// what a full rebuild would have programmed.
+    fn shadow_verify(&mut self) {
+        if !self.shadow_check {
+            return;
+        }
+        let mut reference: [BTreeMap<PortId, PortId>; 3] = Default::default();
+        for slice in self.slices.values() {
+            for hop in slice.required_hops() {
+                if let Some((n, s)) = hop.pair() {
+                    let prev = reference[hop.dim.index()].insert(n, s);
+                    assert!(prev.is_none(), "disjoint slices produce disjoint ports");
+                }
+            }
+        }
+        assert_eq!(
+            reference, self.desired,
+            "incremental desired state diverged from full rebuild"
+        );
+        // The old full-target path: one complete mapping per up, in-sync
+        // switch (down/desynced switches were skipped there too).
         let mut target = FabricTarget::new();
-        let mut skipped = BTreeSet::new();
         for ocs in 0..SUPERPOD_OCS_COUNT as OcsId {
-            let up = self
-                .fabric
-                .fleet
-                .get(ocs)
-                .map(|s| s.is_up())
-                .unwrap_or(false);
-            if !up || self.desynced.contains(&ocs) {
-                skipped.insert(ocs);
+            let Some(sw) = self.fabric.fleet.get(ocs) else {
+                continue;
+            };
+            if !sw.is_up() || self.desynced.contains(&ocs) {
                 continue;
             }
-            target.set(ocs, Self::desired_mapping(slices, ocs));
+            let (dim, _) = ocs_role(ocs);
+            let mapping =
+                PortMapping::from_pairs(reference[dim.index()].iter().map(|(&n, &s)| (n, s)))
+                    .expect("desired state is bijective by construction");
+            target.set(ocs, mapping);
         }
-        (target, skipped)
+        let report = self
+            .fabric
+            .commit(&target)
+            .expect("full-rebuild commit of the live desired state succeeds");
+        assert_eq!(
+            (report.added, report.removed),
+            (0, 0),
+            "live mappings diverged from the full-rebuild desired state"
+        );
     }
 
     /// Switches carrying a stale mapping (they were down during one or
@@ -190,18 +289,31 @@ impl Superpod {
     /// desynced and are reported.
     pub fn resync(&mut self) -> Vec<(OcsId, Result<ReconfigReport, CommitError>)> {
         let mut out = Vec::new();
-        for ocs in self.desynced.clone() {
-            let up = self
-                .fabric
-                .fleet
-                .get(ocs)
-                .map(|s| s.is_up())
-                .unwrap_or(false);
-            if !up {
-                continue;
-            }
+        if self.desynced.is_empty() {
+            return out;
+        }
+        // Collect only the revived switches (no clone of the whole set).
+        let ready: Vec<OcsId> = self
+            .desynced
+            .iter()
+            .copied()
+            .filter(|&ocs| {
+                self.fabric
+                    .fleet
+                    .get(ocs)
+                    .map(|s| s.is_up())
+                    .unwrap_or(false)
+            })
+            .collect();
+        for ocs in ready {
+            // The full desired mapping is a cheap lookup in the persistent
+            // per-dimension aggregate — no rebuild from the slice set.
+            let (dim, _) = ocs_role(ocs);
+            let mapping =
+                PortMapping::from_pairs(self.desired[dim.index()].iter().map(|(&n, &s)| (n, s)))
+                    .expect("desired state is bijective by construction");
             let mut target = FabricTarget::new();
-            target.set(ocs, Self::desired_mapping(&self.slices, ocs));
+            target.set(ocs, mapping);
             match self.fabric.commit(&target) {
                 Ok(mut report) => {
                     self.desynced.remove(&ocs);
@@ -214,47 +326,69 @@ impl Superpod {
                 Err(e) => out.push((ocs, Err(e))),
             }
         }
+        self.shadow_verify();
         out
     }
 
-    /// Composes a slice: validates cube availability, commits the fabric
-    /// transaction, and returns the handle plus the commit report.
+    /// Composes a slice: validates cube availability, commits the
+    /// incremental fabric transaction (only the switches whose mapping
+    /// changes, only this slice's pairs), and returns the handle plus the
+    /// commit report. The fabric validates the whole delta before applying
+    /// and the pod mutates nothing until the commit succeeds, so on error
+    /// nothing has been applied anywhere.
     pub fn compose(&mut self, slice: Slice) -> Result<(SliceHandle, CommitReport), PodError> {
-        let busy: BTreeSet<CubeId> = self
-            .slices
-            .values()
-            .flat_map(|s| s.cubes.iter().copied())
-            .collect();
         for &c in &slice.cubes {
-            if busy.contains(&c) {
+            if self.cube_owner.contains_key(&c) {
                 return Err(PodError::CubeBusy(c));
             }
             if self.failed_cubes.contains(&c) {
                 return Err(PodError::CubeFailed(c));
             }
         }
+        let pairs = Self::pairs_for(&slice);
+        let (delta, skipped) = self.delta_for(&pairs, true);
+        let report = self.fabric.commit_delta(&delta)?;
+        // Success: mutate the persistent state in place.
         let handle = SliceHandle(self.next_handle);
-        let mut proposed = self.slices.clone();
-        proposed.insert(handle, slice);
-        let (target, skipped) = self.target_for(&proposed);
-        let report = self.fabric.commit(&target)?;
         self.next_handle += 1;
-        self.slices = proposed;
+        for &c in &slice.cubes {
+            self.cube_owner.insert(c, handle);
+        }
+        for (dim, list) in self.desired.iter_mut().zip(&pairs) {
+            for &(n, s) in list {
+                let prev = dim.insert(n, s);
+                debug_assert!(prev.is_none(), "disjoint slices produce disjoint ports");
+            }
+        }
+        self.slices.insert(handle, slice);
+        self.slice_pairs.insert(handle, pairs);
         self.desynced.extend(skipped);
+        self.shadow_verify();
         Ok((handle, report))
     }
 
-    /// Releases a slice, freeing its cubes and tearing down its circuits.
+    /// Releases a slice, freeing its cubes and tearing down its circuits —
+    /// an incremental transaction carrying only this slice's pairs as
+    /// removals. On error nothing has been applied.
     pub fn release(&mut self, h: SliceHandle) -> Result<CommitReport, PodError> {
         if !self.slices.contains_key(&h) {
             return Err(PodError::UnknownSlice(h));
         }
-        let mut proposed = self.slices.clone();
-        proposed.remove(&h);
-        let (target, skipped) = self.target_for(&proposed);
-        let report = self.fabric.commit(&target)?;
-        self.slices = proposed;
+        let pairs = self.slice_pairs.get(&h).expect("every slice has pairs");
+        let (delta, skipped) = self.delta_for(pairs, false);
+        let report = self.fabric.commit_delta(&delta)?;
+        let slice = self.slices.remove(&h).expect("checked");
+        let pairs = self.slice_pairs.remove(&h).expect("checked");
+        for &c in &slice.cubes {
+            self.cube_owner.remove(&c);
+        }
+        for (dim, list) in self.desired.iter_mut().zip(&pairs) {
+            for &(n, _) in list {
+                dim.remove(&n);
+            }
+        }
         self.desynced.extend(skipped);
+        self.shadow_verify();
         Ok(report)
     }
 
@@ -357,8 +491,10 @@ mod tests {
         let (h2, report) = pod
             .compose(slice_of(vec![10, 20, 30, 40], 16, 4, 4))
             .unwrap();
-        // Slice 1: 2 cubes × 3 dims × 16 = 96 circuits, all preserved.
-        assert_eq!(report.untouched, 96);
+        // Slice 1 spans only X (8×4×4 = a 2-cube X ring; Y and Z rings are
+        // electrical): 2 pairs × 16 X switches = 32 circuits, all preserved
+        // on the switches slice 2 touches.
+        assert_eq!(report.untouched, 32);
         assert_eq!(report.removed, 0);
         assert_ne!(h1, h2);
         assert_eq!(pod.idle_cubes().len(), 64 - 6);
@@ -386,8 +522,9 @@ mod tests {
         let (h2, _) = pod.compose(slice_of(vec![2, 3], 8, 4, 4)).unwrap();
         pod.advance(Nanos::from_millis(300));
         let report = pod.release(h1).unwrap();
-        assert_eq!(report.removed, 96);
-        assert_eq!(report.untouched, 96, "slice 2 untouched");
+        // Each 8×4×4 slice pins 2 pairs × 16 X switches = 32 circuits.
+        assert_eq!(report.removed, 32);
+        assert_eq!(report.untouched, 32, "slice 2 untouched");
         assert_eq!(report.added, 0);
         assert!(pod.idle_cubes().contains(&0));
         assert!(pod.slice(h2).is_some());
@@ -490,6 +627,57 @@ mod tests {
         let pairs: Vec<_> = mapping.pairs().collect();
         assert_eq!(pairs, vec![(2, 3), (3, 2)]);
         assert!(pod.slice(h2).is_some());
+    }
+
+    #[test]
+    fn single_cube_compose_touches_zero_switches() {
+        // All three rings of a single-cube slice are electrical: composing
+        // one on a loaded pod is a zero-switch transaction, and so is
+        // releasing it.
+        let mut pod = Superpod::new(11);
+        pod.set_shadow_check(true);
+        pod.compose(slice_of(vec![0, 1, 2, 3], 16, 4, 4)).unwrap();
+        pod.advance(Nanos::from_millis(300));
+        let before = pod.fabric().fleet.health().circuits;
+        let (h, report) = pod.compose(slice_of(vec![9], 4, 4, 4)).unwrap();
+        assert!(report.per_switch.is_empty(), "no switch touched");
+        assert_eq!(report.added + report.removed + report.untouched, 0);
+        assert_eq!(report.traffic_ready_at, pod.fabric().now(), "instant");
+        assert_eq!(pod.fabric().fleet.health().circuits, before);
+        let report = pod.release(h).unwrap();
+        assert!(report.per_switch.is_empty());
+        assert_eq!(pod.fabric().fleet.health().circuits, before);
+    }
+
+    #[test]
+    fn failed_compose_applies_nothing() {
+        // The in-place transaction keeps the on-error-nothing-applied
+        // guarantee the old clone-the-world pattern provided.
+        let mut pod = Superpod::new(12);
+        pod.set_shadow_check(true);
+        let (h1, _) = pod.compose(slice_of(vec![0, 1], 8, 4, 4)).unwrap();
+        pod.advance(Nanos::from_millis(300));
+        let circuits_before = pod.fabric().fleet.health().circuits;
+        // HV driver 0 on X-switch 3 degrades ports 0..34 — the new slice's
+        // pairs (2,3)/(3,2) land on degraded ports there, so validation
+        // rejects the whole transaction.
+        pod.fabric_mut().fleet.get_mut(3).unwrap().fail_fru(6);
+        let err = pod.compose(slice_of(vec![2, 3], 8, 4, 4)).unwrap_err();
+        assert!(
+            matches!(err, PodError::Fabric(_)),
+            "fabric rejected: {err:?}"
+        );
+        // Nothing changed anywhere: no cubes claimed, no circuits touched,
+        // no desired-state drift (shadow check would catch it), handle not
+        // burned on other switches.
+        assert!(pod.idle_cubes().contains(&2) && pod.idle_cubes().contains(&3));
+        assert_eq!(pod.slices().count(), 1);
+        assert_eq!(pod.fabric().fleet.health().circuits, circuits_before);
+        assert!(pod.desynced().is_empty());
+        assert_eq!(pod.slice_of_cube(2), None);
+        // Slice 1 still fully alive.
+        assert!(pod.slice(h1).is_some());
+        pod.release(h1).unwrap();
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! `c`** and the `k`-th link of `c`'s **−d face on South port `c`**.
 //! A torus hop "cube `a` → cube `b` along +d" is then 16 parallel circuits
 //! `North a → South b`, one on each of the 16 OCSes of dimension `d`. A
-//! single-cube ring is the self-circuit `North c → South c`.
+//! single-cube ring closes electrically inside the cube — it needs no
+//! optical circuit at all, so a hop with `from == to` expands to zero
+//! circuits and never touches a switch.
 
 use crate::geometry::{CubeId, Dim, LINKS_PER_FACE};
 use lightwave_fabric::OcsId;
@@ -58,12 +60,24 @@ pub fn ocs_role(ocs: OcsId) -> (Dim, usize) {
 }
 
 impl CubeHop {
-    /// The 16 physical circuits realizing this hop.
+    /// The North/South port pair this hop pins on every dimension-`dim`
+    /// switch, or `None` for a single-cube ring (which closes
+    /// electrically and pins nothing).
+    pub fn pair(&self) -> Option<(PortId, PortId)> {
+        (self.from != self.to).then_some((self.from as PortId, self.to as PortId))
+    }
+
+    /// The physical circuits realizing this hop: 16 (one per
+    /// dimension-`dim` switch) for an inter-cube hop, zero for a
+    /// single-cube electrical ring.
     pub fn circuits(&self) -> impl Iterator<Item = PhysicalCircuit> + '_ {
-        (0..LINKS_PER_FACE).map(move |k| PhysicalCircuit {
-            ocs: ocs_for(self.dim, k),
-            north: self.from as PortId,
-            south: self.to as PortId,
+        let dim = self.dim;
+        self.pair().into_iter().flat_map(move |(north, south)| {
+            (0..LINKS_PER_FACE).map(move |k| PhysicalCircuit {
+                ocs: ocs_for(dim, k),
+                north,
+                south,
+            })
         })
     }
 }
@@ -116,15 +130,14 @@ mod tests {
     }
 
     #[test]
-    fn single_cube_wraparound_is_a_self_circuit() {
+    fn single_cube_wraparound_is_electrical() {
         let hop = CubeHop {
             dim: Dim::X,
             from: 3,
             to: 3,
         };
-        for c in hop.circuits() {
-            assert_eq!(c.north, c.south);
-        }
+        assert_eq!(hop.pair(), None);
+        assert_eq!(hop.circuits().count(), 0, "self-rings touch no switch");
     }
 
     #[test]

@@ -17,16 +17,19 @@ use lightwave::chaos::{run_schedule, run_schedule_world, ChaosConfig, FaultKind,
 /// `resync()` reconciles each one after it revives.
 #[test]
 fn down_switch_does_not_wedge_compose_or_release() {
+    // Two-cube slices: their X rings are optical, so every transaction
+    // genuinely touches the down switch's dimension (single-cube slices
+    // are all-electrical and would make this vacuous).
     let s = FaultSchedule {
         seed: 7,
         index: 0,
         events: vec![
-            FaultKind::Compose { cubes: 1 },
+            FaultKind::Compose { cubes: 2 },
             // CPU slot dies on switch 5: the chassis is down.
             FaultKind::FailFru { ocs: 5, slot: 14 },
             // Pre-fix: both of these were rejected fabric-wide, and the
             // release rejection fired the release-rejected invariant.
-            FaultKind::Compose { cubes: 1 },
+            FaultKind::Compose { cubes: 2 },
             FaultKind::Release { nth: 0 },
             FaultKind::Advance { millis: 150 },
             // The switch revives; resync reconciles its stale mapping
@@ -58,8 +61,8 @@ fn degraded_port_under_live_circuit_does_not_block_release() {
         seed: 7,
         index: 1,
         events: vec![
-            FaultKind::Compose { cubes: 1 }, // cube 0: circuits (0,0) everywhere
-            FaultKind::Compose { cubes: 1 }, // cube 1: circuits (1,1) everywhere
+            FaultKind::Compose { cubes: 2 }, // cubes 0,1: X circuits (0,1),(1,0)
+            FaultKind::Compose { cubes: 2 }, // cubes 2,3: X circuits (2,3),(3,2)
             FaultKind::Advance { millis: 400 },
             // HV driver 0 on switch 0 fails: ports 0..34 degrade under
             // both live circuits.
@@ -77,7 +80,7 @@ fn degraded_port_under_live_circuit_does_not_block_release() {
     assert_eq!(out.releases, 1, "release commits despite the degradation");
 }
 
-/// Preemption under fault, pinned: service schedule `(7, 54)` drives 32
+/// Preemption under fault, pinned: service schedule `(1, 5)` drives its
 /// arrivals through a pod taking FRU failures (including an FPGA death
 /// that downs a chassis), stuck mirrors, and maintenance overlapping
 /// reconfiguration — and the admission queue runs hot enough that two
@@ -90,7 +93,7 @@ fn degraded_port_under_live_circuit_does_not_block_release() {
 /// WFQ/preemption policy — a drift in either fails here first.
 #[test]
 fn preemption_under_fault_stays_invariant_clean() {
-    let s = FaultSchedule::generate_service(7, 54);
+    let s = FaultSchedule::generate_service(1, 5);
     let faults = s
         .events
         .iter()
@@ -111,8 +114,8 @@ fn preemption_under_fault_stays_invariant_clean() {
     assert!(out.violation.is_none(), "violation: {:?}", out.violation);
     assert_eq!(out.events_applied as usize, s.events.len());
     assert_eq!(out.svc_preempted, 2, "both evictions happen, every run");
-    assert_eq!(out.svc_admitted, 26);
-    assert_eq!(out.svc_completed, 20);
+    assert_eq!(out.svc_admitted, 45);
+    assert_eq!(out.svc_completed, 40);
     w.svc.conservation().expect("requests conserved at the end");
     // Replay is byte-identical (the repro contract for service hunts).
     assert_eq!(out, run_schedule(&s, &ChaosConfig::default()));
