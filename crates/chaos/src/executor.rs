@@ -111,6 +111,26 @@ impl SwitchModel {
     }
 }
 
+/// One injected fault's recovery attribution: when it struck, how long
+/// the anti-entropy resync needed to settle, and how long until the
+/// system next admitted work — the scope layer's "fault inject → resync
+/// → first post-fault admit" chain, per fault, per schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultRecovery {
+    /// Index of the schedule event that injected the fault.
+    pub event: u32,
+    /// Sim time the fault was injected.
+    pub at_nanos: u64,
+    /// Resync settle window: the latest `traffic_ready_at` across the
+    /// fault's anti-entropy reconfigurations, relative to the fault
+    /// instant (0 when no switch needed resync).
+    pub resync_nanos: u64,
+    /// Sim time from the fault to the first admission after it (harness
+    /// compose or service admission); `None` if nothing admitted before
+    /// the schedule ended.
+    pub first_admit_nanos: Option<u64>,
+}
+
 /// The full system under test plus the harness's independent models.
 #[derive(Debug)]
 pub struct World {
@@ -140,9 +160,13 @@ pub struct World {
     /// into [`World::slices`] so the radix/mapping and admission
     /// invariants cover them like any harness-composed slice.
     pub svc: ServiceCore,
+    /// Per-fault recovery attribution, in injection order (one entry per
+    /// FRU fail/replace/maintenance event).
+    pub recoveries: Vec<FaultRecovery>,
     insts: BTreeMap<OcsId, OcsInstruments>,
     cfg: ChaosConfig,
     now: Nanos,
+    event_cursor: u32,
     world_seed: u64,
     svc_release_failed_seen: u64,
     composes: u32,
@@ -180,6 +204,9 @@ pub struct ScheduleOutcome {
     pub svc_preempted: u64,
     /// Service requests that served their full hold.
     pub svc_completed: u64,
+    /// Per-fault recovery attribution (see [`FaultRecovery`]), in
+    /// injection order.
+    pub recoveries: Vec<FaultRecovery>,
     /// The first invariant violation, if any.
     pub violation: Option<Violation>,
 }
@@ -221,9 +248,11 @@ impl World {
                 queue_limit: 4,
                 preemption: true,
             }),
+            recoveries: Vec::new(),
             insts,
             cfg: ChaosConfig::default(),
             now: Nanos(0),
+            event_cursor: 0,
             world_seed,
             svc_release_failed_seen: 0,
             composes: 0,
@@ -245,6 +274,16 @@ impl World {
             _ => (8, 8, 8),
         };
         SliceShape::new(a, b, c).expect("menu shapes are valid")
+    }
+
+    /// Marks an admission at `at`: every fault still waiting for its
+    /// first post-fault admit is now attributed.
+    fn note_admission(&mut self, at: Nanos) {
+        for rec in &mut self.recoveries {
+            if rec.first_admit_nanos.is_none() {
+                rec.first_admit_nanos = Some(at.0.saturating_sub(rec.at_nanos));
+            }
+        }
     }
 
     fn compose(&mut self, cubes: u8) {
@@ -269,6 +308,7 @@ impl World {
                     admitted: false,
                 });
                 self.composes += 1;
+                self.note_admission(self.now);
             }
             Err(_) => self.rejected += 1,
         }
@@ -325,6 +365,18 @@ impl World {
         // Anti-entropy: a revived switch reconciles its stale mapping.
         let reports = self.pod.resync();
         record_resync(&mut self.telemetry, 0, self.now, &reports);
+        let resync_nanos = reports
+            .iter()
+            .filter_map(|(_, r)| r.as_ref().ok())
+            .map(|r| r.ready_at.saturating_sub(self.now).0)
+            .max()
+            .unwrap_or(0);
+        self.recoveries.push(FaultRecovery {
+            event: self.event_cursor,
+            at_nanos: self.now.0,
+            resync_nanos,
+            first_admit_nanos: None,
+        });
         for (id, result) in reports {
             if let Ok(report) = result {
                 let inst = self.insts.get_mut(&id).expect("registered switch");
@@ -363,6 +415,7 @@ impl World {
                         admitted: false,
                     });
                     self.composes += 1;
+                    self.note_admission(at);
                 }
                 ServiceEvent::Completed {
                     at,
@@ -566,6 +619,7 @@ pub fn run_schedule_world(schedule: &FaultSchedule, cfg: &ChaosConfig) -> (Sched
     let mut violation = None;
     let mut applied = 0u32;
     for (i, &ev) in schedule.events.iter().enumerate() {
+        w.event_cursor = i as u32;
         w.apply(ev);
         applied += 1;
         if let Some(v) = check_all(&w, i as u32, ev) {
@@ -587,6 +641,7 @@ pub fn run_schedule_world(schedule: &FaultSchedule, cfg: &ChaosConfig) -> (Sched
         svc_blocked: svc.blocked(),
         svc_preempted: svc.preempted(),
         svc_completed: svc.completed(),
+        recoveries: w.recoveries.clone(),
         violation,
     };
     (outcome, w)
@@ -770,6 +825,46 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn fru_faults_record_recovery_attribution() {
+        // Fault → heal → later admission: both FRU events get a recovery
+        // entry; the post-fault compose resolves their first-admit time.
+        let s = FaultSchedule {
+            seed: 5,
+            index: 0,
+            events: vec![
+                FaultKind::Compose { cubes: 1 },
+                FaultKind::FailFru { ocs: 2, slot: 14 },
+                FaultKind::Advance { millis: 250 },
+                FaultKind::ReplaceFru { ocs: 2, slot: 14 },
+                FaultKind::Advance { millis: 250 },
+                FaultKind::Compose { cubes: 1 },
+            ],
+        };
+        let out = run_schedule(&s, &ChaosConfig::default());
+        assert!(out.violation.is_none(), "violation: {:?}", out.violation);
+        assert_eq!(out.recoveries.len(), 2, "one entry per FRU event");
+        let fail = &out.recoveries[0];
+        assert_eq!(fail.event, 1);
+        assert_eq!(fail.at_nanos, 0, "fault struck before any advance");
+        let heal = &out.recoveries[1];
+        assert_eq!(heal.event, 3);
+        assert_eq!(
+            heal.at_nanos,
+            Nanos::from_millis(250).0,
+            "replacement lands after the first advance"
+        );
+        for r in &out.recoveries {
+            let admit = r.first_admit_nanos.expect("final compose admits");
+            assert!(
+                r.at_nanos + admit <= Nanos::from_millis(500).0,
+                "first admit within the schedule horizon: {r:?}"
+            );
+        }
+        // Pure function of the schedule, like every other outcome field.
+        assert_eq!(out, run_schedule(&s, &ChaosConfig::default()));
     }
 
     #[test]

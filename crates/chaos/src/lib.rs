@@ -36,7 +36,8 @@ pub mod schedule;
 pub mod shrink;
 
 pub use executor::{
-    run_schedule, run_schedule_world, ChaosConfig, InjectedBug, ScheduleOutcome, World,
+    run_schedule, run_schedule_world, ChaosConfig, FaultRecovery, InjectedBug, ScheduleOutcome,
+    World,
 };
 pub use hunt::{hunt, hunt_service, HuntConfig, HuntReport};
 pub use invariant::{check_all, InvariantKind, Violation};

@@ -37,6 +37,9 @@ struct Handles {
     circuits_untouched: CounterId,
     delta_size: HistogramId,
     settle_ms: HistogramId,
+    touched_switches: HistogramId,
+    pairs_added: HistogramId,
+    pairs_removed: HistogramId,
 }
 
 impl Handles {
@@ -49,6 +52,9 @@ impl Handles {
             circuits_untouched: m.counter("fabric_circuits_untouched_total", &[]),
             delta_size: m.histogram("fabric_commit_delta_circuits", &[]),
             settle_ms: m.histogram("fabric_commit_settle_ms", &[]),
+            touched_switches: m.histogram("fabric_commit_touched_switches", &[]),
+            pairs_added: m.histogram("fabric_commit_pairs_added", &[]),
+            pairs_removed: m.histogram("fabric_commit_pairs_removed", &[]),
         }
     }
 }
@@ -140,6 +146,21 @@ impl FabricInstruments {
             .inc(h.circuits_untouched, at, report.untouched as u64);
         sink.metrics
             .observe(h.delta_size, at, (report.added + report.removed) as f64);
+        // Commit shape: how wide the transaction fanned out (touched
+        // switches) and the per-direction delta-pair counts — the
+        // distributions PR 7's incremental composer is meant to keep
+        // small, now visible per commit rather than only as totals.
+        if !report.per_switch.is_empty() {
+            sink.metrics
+                .observe(h.touched_switches, at, report.per_switch.len() as f64);
+        }
+        if report.added > 0 {
+            sink.metrics.observe(h.pairs_added, at, report.added as f64);
+        }
+        if report.removed > 0 {
+            sink.metrics
+                .observe(h.pairs_removed, at, report.removed as f64);
+        }
         let settle = report.traffic_ready_at.saturating_sub(at);
         if report.added > 0 {
             sink.metrics
@@ -303,6 +324,34 @@ mod tests {
                 .map(|v| format!("{v:?}")),
             Some("Counter(1)".to_string())
         );
+    }
+
+    #[test]
+    fn commit_shape_histograms_track_touch_and_pair_counts() {
+        let mut sink = FleetTelemetry::new();
+        let mut inst = FabricInstruments::register(&mut sink);
+        let mut c = FabricController::new(OcsFleet::build(3, 17));
+        // Commit 1: two switches, 3 pairs added, nothing removed.
+        let mut t = FabricTarget::new();
+        t.set(0, PortMapping::from_pairs([(0, 1), (2, 3)]).unwrap());
+        t.set(1, PortMapping::from_pairs([(5, 6)]).unwrap());
+        inst.commit_observed(&mut sink, &mut c, &t).unwrap();
+        // Commit 2: narrow delta — switch 0 drops one pair.
+        t.set(0, PortMapping::from_pairs([(0, 1)]).unwrap());
+        inst.commit_observed(&mut sink, &mut c, &t).unwrap();
+        let hist = |name: &str| match sink.metrics.find(name, &[]) {
+            Some(lightwave_telemetry::metrics::MetricValue::Histogram(h)) => h.clone(),
+            other => panic!("{name}: {other:?}"),
+        };
+        let touched = hist("fabric_commit_touched_switches");
+        assert_eq!(touched.count(), 2);
+        assert_eq!(touched.max(), Some(2.0), "widest commit touched 2");
+        let added = hist("fabric_commit_pairs_added");
+        assert_eq!(added.count(), 1, "removal-only commit records no add");
+        assert_eq!(added.max(), Some(3.0));
+        let removed = hist("fabric_commit_pairs_removed");
+        assert_eq!(removed.count(), 1);
+        assert_eq!(removed.max(), Some(1.0));
     }
 
     #[test]

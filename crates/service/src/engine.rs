@@ -21,6 +21,7 @@ use crate::arrivals::{arrival, Mix};
 use crate::intent::Priority;
 use crate::metrics::ServiceReport;
 use crate::queue::{PolicyConfig, RejectReason, ServiceCore, ServiceEvent};
+use crate::scope::{scope_span_id, ScopeCollector, ScopeReport};
 use lightwave_par::{splitmix, Pool, RunStats, Shard};
 use lightwave_superpod::instrument::{trace_compose, trace_release};
 use lightwave_superpod::Superpod;
@@ -60,6 +61,11 @@ pub struct ServiceConfig {
     /// default: it re-pays the old O(pod) cost per transaction and
     /// exists for equivalence proofs and in-run perf baselines.
     pub shadow: bool,
+    /// Scope-sampling period for [`run_cell_scoped`] /
+    /// [`run_sharded_scoped`] / [`ServiceEngine`]: 0 disables, 1 samples
+    /// every request, `n` samples ~1-in-`n` (pure in `(seed, request)` —
+    /// see [`crate::scope::scope_sampled`]).
+    pub scope_every: u64,
 }
 
 impl Default for ServiceConfig {
@@ -73,6 +79,7 @@ impl Default for ServiceConfig {
             shard_size: 4_096,
             trace_requests: 0,
             shadow: false,
+            scope_every: 0,
         }
     }
 }
@@ -121,6 +128,51 @@ pub fn run_sharded(pool: &Pool, cfg: &ServiceConfig) -> (ServiceReport, RunStats
     )
 }
 
+/// [`run_cell`] with scope attribution: the collector folds each event
+/// batch before it is cleared, so the cell also returns its
+/// [`ScopeReport`]. With `cfg.scope_every == 0` the scope report is
+/// empty and the service report equals [`run_cell`]'s.
+pub fn run_cell_scoped(cfg: &ServiceConfig, shard: Shard) -> (ServiceReport, ScopeReport) {
+    let mut pod = Superpod::new(splitmix(cfg.seed ^ CELL_STREAM, shard.index));
+    pod.set_shadow_check(cfg.shadow);
+    let mut core = ServiceCore::new(cfg.policy);
+    let mut scope = ScopeCollector::new(cfg.seed, cfg.scope_every);
+    let mut events = Vec::new();
+    let mut now = Nanos(0);
+    for i in shard.start..shard.start + shard.len {
+        let a = arrival(cfg.seed, i, cfg.mix);
+        now += cfg.scaled_gap(a.gap_unit_micros);
+        core.advance_to(&mut pod, now, &mut events);
+        core.submit(&mut pod, &a.intent, &mut events);
+        scope.observe(&events);
+        events.clear();
+    }
+    core.drain(&mut pod, &mut events);
+    scope.observe(&events);
+    (core.report().clone(), scope.finish())
+}
+
+/// [`run_sharded`] with scope attribution: cells run
+/// [`run_cell_scoped`] and both reports merge in shard order, so the
+/// pair is byte-identical at any thread count.
+pub fn run_sharded_scoped(
+    pool: &Pool,
+    cfg: &ServiceConfig,
+) -> (ServiceReport, ScopeReport, RunStats) {
+    let ((report, scope), stats) = pool.run_shards(
+        cfg.seed,
+        cfg.requests,
+        cfg.shard_size,
+        |_rng, shard| run_cell_scoped(cfg, shard),
+        |(mut a, mut sa), (b, sb)| {
+            a.merge(&b);
+            sa.merge(&sb);
+            (a, sa)
+        },
+    );
+    (report, scope, stats)
+}
+
 struct ClassInstruments {
     offered: CounterId,
     admitted: CounterId,
@@ -154,6 +206,12 @@ pub struct ServiceEngine {
     now: Nanos,
     /// Last lifecycle span of each traced request still in flight.
     open: BTreeMap<u64, SpanId>,
+    /// Scope attribution (active when `cfg.scope_every > 0`).
+    scope: ScopeCollector,
+    /// Open root lifecycle span of each scope-sampled request, with id
+    /// pre-derived by [`scope_span_id`] so sharded reports resolve into
+    /// this engine's trace.
+    scope_roots: BTreeMap<u64, SpanId>,
 }
 
 impl ServiceEngine {
@@ -201,6 +259,8 @@ impl ServiceEngine {
             depth,
             now: Nanos(0),
             open: BTreeMap::new(),
+            scope: ScopeCollector::new(cfg.seed, cfg.scope_every),
+            scope_roots: BTreeMap::new(),
             cfg,
         }
     }
@@ -222,14 +282,27 @@ impl ServiceEngine {
         self.apply(&std::mem::take(&mut events));
         self.series
             .push(self.depth, self.now, self.core.queue_depth() as f64);
+        // Close any root lifecycle span whose request never terminated
+        // (possible only under injected faults): open spans would
+        // otherwise be dropped from the export.
+        for (_, span) in std::mem::take(&mut self.scope_roots) {
+            self.tracer.end(span, self.now);
+        }
         self.core.report().clone()
+    }
+
+    /// The scope attribution so far (see
+    /// [`ScopeCollector::report_now`]).
+    pub fn scope_report(&self) -> ScopeReport {
+        self.scope.report_now()
     }
 
     fn traced(&self, request: u64) -> bool {
         request < self.cfg.trace_requests
     }
 
-    /// A zero-width lifecycle stage span chained after `prev`.
+    /// A zero-width lifecycle stage span chained after `prev`, parented
+    /// under the request's root scope span when one is open.
     fn stage_mark(
         &mut self,
         request: u64,
@@ -237,9 +310,10 @@ impl ServiceEngine {
         at: Nanos,
         prev: Option<SpanId>,
     ) -> SpanId {
+        let parent = self.scope_roots.get(&request).copied();
         let span = self.tracer.span(
             Lane::Scheduler,
-            None,
+            parent,
             at,
             at,
             SpanKind::ServiceRequest { request, stage },
@@ -251,16 +325,32 @@ impl ServiceEngine {
     }
 
     fn apply(&mut self, events: &[ServiceEvent]) {
+        self.scope.observe(events);
         for ev in events {
             match ev {
-                ServiceEvent::Enqueued { request, class } => {
+                ServiceEvent::Enqueued { request, class, at } => {
                     let inst = &self.instruments[class.rank()];
                     self.telemetry.metrics.inc(inst.offered, self.now, 1);
-                    if self.traced(*request) {
-                        let prev = self.open.remove(request);
-                        let span = self.tracer.begin(
+                    if self.scope.sampled(*request) && !self.scope_roots.contains_key(request) {
+                        let id = scope_span_id(self.cfg.seed, *request);
+                        self.tracer.begin_with_id(
+                            id,
                             Lane::Scheduler,
                             None,
+                            *at,
+                            SpanKind::ServiceRequest {
+                                request: *request,
+                                stage: RequestStage::Lifecycle,
+                            },
+                        );
+                        self.scope_roots.insert(*request, id);
+                    }
+                    if self.traced(*request) {
+                        let prev = self.open.remove(request);
+                        let parent = self.scope_roots.get(request).copied();
+                        let span = self.tracer.begin(
+                            Lane::Scheduler,
+                            parent,
                             self.now,
                             SpanKind::ServiceRequest {
                                 request: *request,
@@ -277,6 +367,7 @@ impl ServiceEngine {
                     request,
                     class,
                     why,
+                    at,
                 } => {
                     let inst = &mut self.instruments[class.rank()];
                     self.telemetry.metrics.inc(inst.rejected, self.now, 1);
@@ -293,6 +384,9 @@ impl ServiceEngine {
                             self.tracer.end(span, self.now);
                         }
                         self.stage_mark(*request, RequestStage::Reject, self.now, prev);
+                    }
+                    if let Some(root) = self.scope_roots.remove(request) {
+                        self.tracer.end(root, *at);
                     }
                 }
                 ServiceEvent::Admitted {
@@ -324,9 +418,10 @@ impl ServiceEngine {
                         }
                         let admit = self.stage_mark(*request, RequestStage::Admit, at, enqueue);
                         let ready = report.traffic_ready_at.max(at);
+                        let parent = self.scope_roots.get(request).copied();
                         let compose = self.tracer.span(
                             Lane::Scheduler,
-                            None,
+                            parent,
                             at,
                             ready,
                             SpanKind::ServiceRequest {
@@ -338,7 +433,7 @@ impl ServiceEngine {
                         trace_compose(&mut self.tracer, Some(compose), 0, at, *cubes, report);
                         let run = self.tracer.begin(
                             Lane::Scheduler,
-                            None,
+                            parent,
                             ready,
                             SpanKind::ServiceRequest {
                                 request: *request,
@@ -369,9 +464,10 @@ impl ServiceEngine {
                         trace_release(&mut self.tracer, Some(preempt), 0, at, 0, report);
                         // The request re-queued: a fresh enqueue span
                         // chains after the eviction.
+                        let parent = self.scope_roots.get(request).copied();
                         let enqueue = self.tracer.begin(
                             Lane::Scheduler,
-                            None,
+                            parent,
                             at,
                             SpanKind::ServiceRequest {
                                 request: *request,
@@ -400,6 +496,10 @@ impl ServiceEngine {
                         }
                         let release = self.stage_mark(*request, RequestStage::Release, at, run);
                         trace_release(&mut self.tracer, Some(release), 0, at, *cubes, report);
+                    }
+                    if let Some(root) = self.scope_roots.remove(request) {
+                        // The lifecycle ends when the release settles.
+                        self.tracer.end(root, report.traffic_ready_at.max(at));
                     }
                 }
             }
@@ -486,6 +586,95 @@ mod tests {
         let stats = lightwave_trace::validate::validate_chrome_trace(&json).expect("valid trace");
         assert!(stats.complete > 0, "lifecycle spans present");
         assert!(stats.counters > 0, "queue depth present");
+    }
+
+    #[test]
+    fn scoped_run_attributes_the_lifecycle_and_stays_invariant() {
+        let cfg = ServiceConfig {
+            requests: 800,
+            shard_size: 128,
+            scope_every: 4,
+            ..ServiceConfig::default()
+        };
+        let (report, scope, _) = run_sharded_scoped(&Pool::new(1), &cfg);
+        let (report4, scope4, _) = run_sharded_scoped(&Pool::new(4), &cfg);
+        assert_eq!(report, report4, "service report thread-invariant");
+        let json = serde_json::to_string(&scope.snapshot()).expect("serializes");
+        let json4 = serde_json::to_string(&scope4.snapshot()).expect("serializes");
+        assert_eq!(json, json4, "scope snapshot byte-identical");
+        // Scoping never perturbs the policy.
+        assert_eq!(report, run_sharded(&Pool::new(2), &cfg).0);
+        assert!(scope.sampled > 0, "1-in-4 over 800 requests samples some");
+        assert_eq!(scope.inflight, 0, "drained run leaves nothing in flight");
+        let completed: u64 = scope.classes.iter().map(|c| c.sampled_completed).sum();
+        assert_eq!(completed + scope.rejected, scope.sampled);
+        assert!(!scope.critical_paths().is_empty());
+        assert!(
+            scope.touched_switches.count() > 0,
+            "compose commits observed"
+        );
+        // Scope off: empty report, same service outcome.
+        let off = ServiceConfig {
+            scope_every: 0,
+            ..cfg
+        };
+        let (off_report, off_scope, _) = run_sharded_scoped(&Pool::new(2), &off);
+        assert_eq!(off_report, report);
+        assert_eq!(off_scope.sampled, 0);
+    }
+
+    #[test]
+    fn engine_scope_matches_sharded_single_cell_and_annotates_roots() {
+        let cfg = ServiceConfig {
+            requests: 400,
+            shard_size: 400,
+            trace_requests: 25,
+            scope_every: 2,
+            ..ServiceConfig::default()
+        };
+        let mut engine = ServiceEngine::new(cfg);
+        let report = engine.run();
+        let (cell_report, cell_scope) = run_cell_scoped(
+            &cfg,
+            Shard {
+                index: 0,
+                start: 0,
+                len: 400,
+            },
+        );
+        assert_eq!(report, cell_report, "observation does not perturb policy");
+        let engine_scope = engine.scope_report();
+        assert_eq!(
+            serde_json::to_string(&engine_scope.snapshot()).expect("json"),
+            serde_json::to_string(&cell_scope.snapshot()).expect("json"),
+            "engine and sharded cell agree on attribution"
+        );
+        // Every exemplar span id resolves to a root lifecycle span in
+        // the engine's trace.
+        let spans = engine_scope.exemplar_spans();
+        assert!(!spans.is_empty());
+        let root_ids: std::collections::BTreeSet<u64> = engine
+            .tracer
+            .spans()
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s.kind,
+                    SpanKind::ServiceRequest {
+                        stage: RequestStage::Lifecycle,
+                        ..
+                    }
+                )
+            })
+            .map(|s| s.id.0)
+            .collect();
+        for span in &spans {
+            assert!(root_ids.contains(span), "exemplar span {span:x} resolves");
+        }
+        // The annotated export flags exactly those spans.
+        let json = lightwave_trace::to_chrome_trace_annotated(&engine.tracer, &[], &spans);
+        assert!(json.contains("\"exemplar\":true"));
+        lightwave_trace::validate::validate_chrome_trace(&json).expect("valid trace");
     }
 
     #[test]

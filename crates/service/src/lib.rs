@@ -49,11 +49,17 @@ pub mod engine;
 pub mod intent;
 pub mod metrics;
 pub mod queue;
+pub mod scope;
 
 pub use arrivals::{arrival, chips_for_cubes, Arrival, Mix, SERVICE_STREAM};
 pub use engine::{
-    run_cell, run_sharded, ServiceConfig, ServiceEngine, ADMISSION_SLO_OBJECT, CELL_STREAM,
+    run_cell, run_cell_scoped, run_sharded, run_sharded_scoped, ServiceConfig, ServiceEngine,
+    ADMISSION_SLO_OBJECT, CELL_STREAM,
 };
 pub use intent::{IntentError, Priority, SliceIntent};
 pub use metrics::{erlang_b, ClassSnapshot, ClassStats, ServiceReport, ServiceSnapshot};
 pub use queue::{PolicyConfig, RejectReason, ServiceCore, ServiceEvent};
+pub use scope::{
+    scope_sampled, scope_span_id, ClassScope, CriticalPath, ScopeCollector, ScopeDist, ScopePhase,
+    ScopeProfiler, ScopeReport, ScopeSnapshot, ScopeTimeline, SCOPE_STREAM,
+};

@@ -71,6 +71,9 @@ pub enum ServiceEvent {
         request: u64,
         /// Its class.
         class: Priority,
+        /// Sim time the request joined the queue — the scope profiler's
+        /// timeline anchor (event-time stamping, DESIGN §6.7).
+        at: Nanos,
     },
     /// The request left the system without running.
     Rejected {
@@ -80,6 +83,8 @@ pub enum ServiceEvent {
         class: Priority,
         /// Why.
         why: RejectReason,
+        /// Sim time of the rejection.
+        at: Nanos,
     },
     /// Admission composed the request onto the pod.
     Admitted {
@@ -302,6 +307,7 @@ impl ServiceCore {
                     request: intent.request,
                     class: intent.class,
                     why: RejectReason::Invalid,
+                    at: self.now,
                 });
                 return;
             }
@@ -317,6 +323,7 @@ impl ServiceCore {
         out.push(ServiceEvent::Enqueued {
             request: intent.request,
             class: intent.class,
+            at: self.now,
         });
         self.pump(pod, out);
         // The bound applies to the newcomer only: preemption re-queues
@@ -329,6 +336,7 @@ impl ServiceCore {
                     request: intent.request,
                     class: intent.class,
                     why: RejectReason::QueueFull,
+                    at: self.now,
                 });
             }
         }
@@ -493,6 +501,7 @@ impl ServiceCore {
                         request: cand.index,
                         class: cand.class,
                         why: RejectReason::Fabric,
+                        at: self.now,
                     });
                 }
             }

@@ -23,6 +23,15 @@ const MAX_EXP: i32 = 127;
 /// Bucket count: one per exponent in `MIN_EXP..=MAX_EXP`.
 const BUCKETS: usize = (MAX_EXP - MIN_EXP + 1) as usize;
 
+/// The lower-bound binary exponent of the bucket a positive finite
+/// sample lands in, clamped into `MIN_EXP..=MAX_EXP`. Shared with
+/// [`crate::exemplar::ExemplarHistogram`], whose per-bucket exemplars
+/// must key on exactly the same bucketing as the counts.
+pub(crate) fn bucket_exponent(v: f64) -> i16 {
+    let exp = ((v.to_bits() >> 52) & 0x7ff) as i32 - 1023;
+    exp.clamp(MIN_EXP, MAX_EXP) as i16
+}
+
 /// A log₂-bucketed histogram of positive samples.
 ///
 /// Zero, negative, and NaN samples are counted in `nonfinite` rather than
@@ -66,8 +75,7 @@ impl LogHistogram {
     /// exponent field (subnormals read as exponent −1023 and clamp into
     /// the underflow bucket).
     fn bucket_index(v: f64) -> usize {
-        let exp = ((v.to_bits() >> 52) & 0x7ff) as i32 - 1023;
-        (exp.clamp(MIN_EXP, MAX_EXP) - MIN_EXP) as usize
+        (bucket_exponent(v) as i32 - MIN_EXP) as usize
     }
 
     /// Records one sample.
@@ -163,6 +171,32 @@ impl LogHistogram {
             }
         }
         self.max
+    }
+
+    /// The lower-bound binary exponent of the bucket containing quantile
+    /// `q` — the key an [`ExemplarHistogram`](crate::ExemplarHistogram)
+    /// uses to look up that bucket's retained exemplars. `None` when
+    /// empty.
+    pub fn quantile_bucket(&self, q: f64) -> Option<i16> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q <= 0.0 {
+            return self.min.map(bucket_exponent);
+        }
+        if q >= 1.0 {
+            return self.max.map(bucket_exponent);
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(MIN_EXP as i16 + i as i16);
+            }
+        }
+        self.max.map(bucket_exponent)
     }
 
     /// Geometric-midpoint estimate of the mean of bucketed samples.

@@ -75,6 +75,7 @@
 pub mod alarms;
 pub mod detect;
 pub mod events;
+pub mod exemplar;
 pub mod export;
 pub mod fleet;
 pub mod health;
@@ -90,6 +91,7 @@ pub use alarms::{
 };
 pub use detect::{Cusum, CusumConfig, EwmaConfig, EwmaDrift, RateSpike, RateSpikeConfig};
 pub use events::{Event, EventBus, EventKind, EventSubscriber};
+pub use exemplar::{Exemplar, ExemplarBucket, ExemplarHistogram, ExemplarSnapshot};
 pub use export::JsonlRecord;
 pub use fleet::FleetTelemetry;
 pub use health::{

@@ -16,6 +16,7 @@ use crate::tracer::Tracer;
 use lightwave_telemetry::CounterTrack;
 use serde::ser::{Serialize, Serializer};
 use serde::Content;
+use std::collections::BTreeSet;
 
 /// Timestamp conversion: sim-time nanoseconds → trace microseconds.
 fn micros(ns: u64) -> Content {
@@ -62,7 +63,7 @@ fn metadata_events(lanes: &[Lane], out: &mut Vec<Content>) {
     }
 }
 
-fn span_args(span: &SpanRecord) -> Content {
+fn span_args(span: &SpanRecord, exemplars: &BTreeSet<u64>) -> Content {
     let mut entries = vec![("span", str_c(span.id.to_string()))];
     if let Some(p) = span.parent {
         entries.push(("parent", str_c(p.to_string())));
@@ -70,11 +71,17 @@ fn span_args(span: &SpanRecord) -> Content {
     if let Some(f) = span.follows {
         entries.push(("follows", str_c(f.to_string())));
     }
+    if exemplars.contains(&span.id.0) {
+        // A scope-report bucket retained this span as its exemplar:
+        // flag it so "why was this request slow?" investigations can
+        // search `exemplar` in the Perfetto UI and land directly on it.
+        entries.push(("exemplar", Content::Bool(true)));
+    }
     entries.push(("kind", span.kind.to_content()));
     obj(entries)
 }
 
-fn span_events(span: &SpanRecord, out: &mut Vec<Content>) {
+fn span_events(span: &SpanRecord, exemplars: &BTreeSet<u64>, out: &mut Vec<Content>) {
     let (pid, tid) = span.lane.pid_tid();
     out.push(obj(vec![
         ("name", str_c(span.kind.name())),
@@ -84,7 +91,7 @@ fn span_events(span: &SpanRecord, out: &mut Vec<Content>) {
         ("dur", micros(span.end.0 - span.start.0)),
         ("pid", u64_c(pid)),
         ("tid", u64_c(tid)),
-        ("args", span_args(span)),
+        ("args", span_args(span, exemplars)),
     ]));
 }
 
@@ -170,11 +177,25 @@ pub fn to_chrome_trace(tracer: &Tracer) -> String {
 /// [`FleetHealth::counter_tracks`](lightwave_telemetry::FleetHealth::counter_tracks)
 /// to see the health time-series alongside the causal span timeline.
 pub fn to_chrome_trace_with_counters(tracer: &Tracer, counters: &[CounterTrack]) -> String {
+    to_chrome_trace_annotated(tracer, counters, &BTreeSet::new())
+}
+
+/// [`to_chrome_trace_with_counters`] plus exemplar annotation: spans
+/// whose ids are in `exemplars` (the span ids a scope report's histogram
+/// buckets retained) gain an `"exemplar": true` arg, so a tail bucket in
+/// `scope_report.json` links to a span findable by searching `exemplar`
+/// in the Perfetto UI. With an empty set this is byte-identical to the
+/// plain export.
+pub fn to_chrome_trace_annotated(
+    tracer: &Tracer,
+    counters: &[CounterTrack],
+    exemplars: &BTreeSet<u64>,
+) -> String {
     let mut events = Vec::new();
     metadata_events(&tracer.lanes(), &mut events);
     let spans = tracer.spans();
     for span in spans {
-        span_events(span, &mut events);
+        span_events(span, exemplars, &mut events);
         flow_events(span, spans, &mut events);
     }
     for inst in tracer.instants() {

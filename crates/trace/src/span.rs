@@ -68,6 +68,11 @@ impl ReconfigPhase {
 /// so one request reads as a causal lane through the timeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RequestStage {
+    /// The whole request, enqueue to terminal event — the root span the
+    /// scope profiler opens for sampled requests, with an id pre-derived
+    /// from `(seed, request)` so exemplars in a sharded (tracer-less)
+    /// scope report resolve to it in a traced run's export.
+    Lifecycle,
     /// Intent validated and queued, waiting for admission.
     Enqueue,
     /// Admission control picked the request (policy decision).
@@ -88,6 +93,7 @@ impl RequestStage {
     /// Span name for the stage.
     pub fn name(self) -> &'static str {
         match self {
+            RequestStage::Lifecycle => "svc.request",
             RequestStage::Enqueue => "svc.enqueue",
             RequestStage::Admit => "svc.admit",
             RequestStage::Compose => "svc.compose",

@@ -90,6 +90,25 @@ impl Tracer {
         kind: SpanKind,
     ) -> SpanId {
         let id = self.next_id();
+        self.begin_with_id(id, lane, parent, start, kind)
+    }
+
+    /// Opens a span whose id the *caller* derived (pure in its own
+    /// inputs) instead of drawing from the tracer's counter stream —
+    /// the hook the scope profiler uses so a request's root span id can
+    /// be predicted by sharded, tracer-less runs
+    /// (`scope_span_id(seed, request)`) and still resolve in a traced
+    /// run's export. The counter stream is not advanced. The caller is
+    /// responsible for id uniqueness: callers must derive from a stream
+    /// offset distinct from this tracer's seed (DESIGN §6.7).
+    pub fn begin_with_id(
+        &mut self,
+        id: SpanId,
+        lane: Lane,
+        parent: Option<SpanId>,
+        start: Nanos,
+        kind: SpanKind,
+    ) -> SpanId {
         self.open.push(OpenSpan {
             record: SpanRecord {
                 id,

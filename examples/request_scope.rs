@@ -1,0 +1,167 @@
+//! "Why was this request slow?" — request-level critical-path
+//! attribution with the always-on scope layer (DESIGN §6.7).
+//!
+//! ```text
+//! cargo run --release --example request_scope            # 200k requests
+//! cargo run --release --example request_scope -- --smoke # CI-sized
+//! ```
+//!
+//! Four acts:
+//!
+//! 1. **The attributed fleet run** — [`run_sharded_scoped`] over the
+//!    production mix with 1-in-64 sampling. The scope report folds each
+//!    sampled request's lifecycle into per-class × per-phase exemplar
+//!    histograms and names the dominant phase at p50/p99/p99.9. Writes
+//!    `scope_report.json`; CI runs this example at `LIGHTWAVE_THREADS=1`
+//!    and `=4` and `cmp`s the artifacts byte for byte.
+//! 2. **The determinism check** — an in-process 1-vs-2-thread replay:
+//!    snapshot JSON must be byte-identical (sampling and span ids are
+//!    pure in `(seed, request)`; merges are lattice joins).
+//! 3. **The exemplar-linked trace** — a fully sampled observed
+//!    [`ServiceEngine`] cell. Every tail bucket's exemplar carries the
+//!    span id of that request's root lifecycle span; the annotated
+//!    Perfetto export flags those spans, so the p99 row in
+//!    `scope_report.json` links straight to the slow request's span tree
+//!    in `request_scope_trace.json`.
+//! 4. **The profiler** — the scope layer accounts for its own wall
+//!    clock with [`ScopeProfiler`] (the overhead gate itself lives in
+//!    `bench_pr8`).
+
+use lightwave::par::Pool;
+use lightwave::service::{run_sharded_scoped, ScopeProfiler, ServiceConfig, ServiceEngine};
+use lightwave::trace::validate::validate_chrome_trace;
+use lightwave::trace::{to_chrome_trace_annotated, RequestStage, SpanKind};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn out_dir() -> PathBuf {
+    let args: Vec<String> = std::env::args().collect();
+    let dir = args
+        .iter()
+        .position(|a| a == "--out-dir")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/scope"));
+    std::fs::create_dir_all(&dir).expect("create output directory");
+    dir
+}
+
+fn main() {
+    let smoke = flag("--smoke");
+    let dir = out_dir();
+    let mut prof = ScopeProfiler::new();
+    let requests: u64 = if smoke { 12_000 } else { 200_000 };
+    let pool = Pool::from_env();
+
+    // ── Act 1: the attributed fleet run ──────────────────────────────
+    let cfg = ServiceConfig {
+        requests,
+        scope_every: 64,
+        ..ServiceConfig::default()
+    };
+    println!(
+        "act 1: {requests} arrivals, 1-in-{} sampling, {} worker thread(s)",
+        cfg.scope_every,
+        pool.threads()
+    );
+    let (report, scope, _) = prof.time("run_sharded_scoped", || run_sharded_scoped(&pool, &cfg));
+    assert_eq!(report.submitted, requests);
+    println!(
+        "  {} sampled ({} rejected, {} in flight at drain), {} commits observed",
+        scope.sampled,
+        scope.rejected,
+        scope.inflight,
+        scope.touched_switches.count(),
+    );
+    print!("{}", scope.render());
+
+    let snapshot =
+        serde_json::to_string_pretty(&scope.snapshot()).expect("scope snapshot serializes");
+    let report_path = dir.join("scope_report.json");
+    std::fs::write(&report_path, snapshot + "\n").expect("write scope_report.json");
+    println!("  wrote {}", report_path.display());
+
+    // ── Act 2: the determinism check ─────────────────────────────────
+    let small = ServiceConfig {
+        requests: if smoke { 2_000 } else { 6_000 },
+        shard_size: 512,
+        scope_every: 8,
+        ..ServiceConfig::default()
+    };
+    let (r1, s1, _) = run_sharded_scoped(&Pool::new(1), &small);
+    let (r2, s2, _) = run_sharded_scoped(&Pool::new(2), &small);
+    assert_eq!(r1, r2, "thread count must not change the service report");
+    assert_eq!(
+        serde_json::to_string(&s1.snapshot()).expect("json"),
+        serde_json::to_string(&s2.snapshot()).expect("json"),
+        "thread count must not change the scope report"
+    );
+    println!("act 2: 1-thread and 2-thread scope reports byte-identical");
+
+    // ── Act 3: the exemplar-linked trace ─────────────────────────────
+    // Full sampling on a small observed cell: every request gets a root
+    // lifecycle span, and every histogram bucket's exemplar records the
+    // root span id of the request that set it.
+    let traced = ServiceConfig {
+        requests: 240,
+        trace_requests: 48,
+        scope_every: 1,
+        ..ServiceConfig::default()
+    };
+    let mut engine = ServiceEngine::new(traced);
+    let cell = engine.run();
+    let cell_scope = engine.scope_report();
+    let exemplars = cell_scope.exemplar_spans();
+    let root_ids: BTreeSet<u64> = engine
+        .tracer
+        .spans()
+        .iter()
+        .filter(|s| {
+            matches!(
+                s.kind,
+                SpanKind::ServiceRequest {
+                    stage: RequestStage::Lifecycle,
+                    ..
+                }
+            )
+        })
+        .map(|s| s.id.0)
+        .collect();
+    for span in &exemplars {
+        assert!(
+            root_ids.contains(span),
+            "exemplar span {span:016x} must resolve to a lifecycle root"
+        );
+    }
+    let trace = to_chrome_trace_annotated(&engine.tracer, &engine.series.tracks(), &exemplars);
+    let tstats = validate_chrome_trace(&trace).expect("exported trace validates");
+    println!(
+        "act 3: fully sampled cell served {} requests; {} exemplar spans all \
+         resolve in a {}-span trace — validator accepts",
+        cell.completed(),
+        exemplars.len(),
+        tstats.complete,
+    );
+    for p in cell_scope.critical_paths() {
+        if p.quantile_permille == 990 {
+            println!(
+                "  {} p99 exemplar: request {} span {:016x} — open the trace and \
+                 look for the flagged span",
+                p.class.name(),
+                p.request,
+                p.span,
+            );
+        }
+    }
+    let trace_path = dir.join("request_scope_trace.json");
+    std::fs::write(&trace_path, trace).expect("write request_scope_trace.json");
+    println!("  wrote {} (open at ui.perfetto.dev)", trace_path.display());
+
+    // ── Act 4: the profiler ──────────────────────────────────────────
+    print!("act 4: {}", prof.render());
+    println!("done: all acts passed");
+}
