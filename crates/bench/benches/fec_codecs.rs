@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use lightwave_core::fec::hamming::ExtHamming;
-use lightwave_core::fec::ReedSolomon;
+use lightwave_core::fec::{ReedSolomon, RsScratch};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::hint::black_box;
@@ -41,6 +41,19 @@ fn kp4_decode(c: &mut Criterion) {
                 || corrupted.clone(),
                 |mut cw| {
                     rs.decode(&mut cw).expect("correctable");
+                    black_box(cw)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        // The steady-state shape: caller-owned scratch, zero allocation
+        // per decode (the path every hot loop actually takes).
+        let mut scratch = RsScratch::new();
+        g.bench_function(format!("decode_with_scratch_{nerr}_errors"), |b| {
+            b.iter_batched(
+                || corrupted.clone(),
+                |mut cw| {
+                    rs.decode_with(&mut cw, &mut scratch).expect("correctable");
                     black_box(cw)
                 },
                 BatchSize::SmallInput,

@@ -1,0 +1,498 @@
+//! FEC/PAM4 kernel throughput benchmark → `BENCH_PR9.json`.
+//!
+//! Times the serial hot paths reworked in DESIGN §6.8 — RS(544,514)
+//! encode/decode and the Monte-Carlo PAM4 symbol loops behind fig11/fig13 —
+//! against the frozen textbook implementations that live on as
+//! `fec::reference` and `optics::montecarlo::reference`. Both sides run in
+//! the same process on the same inputs (and the reference even benefits
+//! from the new const GF tables), so the speedup ratios are in-run,
+//! robust to runner speed, and honest about where the win comes from.
+//!
+//! The perf gate asserts ≥5x on the two paths ROADMAP item 3 names: the
+//! t = 15 RS decode and the clean PAM4 MC symbol loop. The MPI loop is
+//! recorded but ungated — its beat-phase random walk is inherently serial
+//! (every symbol's Box–Muller phase step must be computed), which caps its
+//! batched speedup well below the clean loop's.
+//!
+//! Every workload also cross-checks bit-identity fast-vs-reference
+//! in-process, and the deterministic `identity` block is byte-compared
+//! across `LIGHTWAVE_THREADS` by CI.
+//!
+//! ```text
+//! cargo run -p lightwave-bench --release --bin bench_pr9              # full
+//! cargo run -p lightwave-bench --release --bin bench_pr9 -- --smoke  # CI-sized
+//! cargo run -p lightwave-bench --release --bin bench_pr9 -- --out p  # custom path
+//! ```
+
+use lightwave_core::fec::gf::Gf;
+use lightwave_core::fec::reference::ReferenceRs;
+use lightwave_core::fec::{ReedSolomon, RsScratch};
+use lightwave_core::optics::ber::{mpi_db, Pam4Receiver};
+use lightwave_core::optics::montecarlo::{self as mc, McChannel};
+use lightwave_core::par::Pool;
+use lightwave_units::Dbm;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::Serialize;
+use std::time::Instant;
+
+/// The in-run speedup both gated kernels must clear.
+const GATE: f64 = 5.0;
+
+/// One kernel's measurement.
+#[derive(Debug, Serialize)]
+struct Workload {
+    /// Kernel id (`*_reference` = frozen textbook path).
+    id: String,
+    /// The unit `per_sec` counts.
+    unit: String,
+    /// Work units per timed run.
+    n: u64,
+    /// Units per second (wall time).
+    per_sec: f64,
+}
+
+/// In-run fast-vs-reference ratios (same process, same inputs).
+#[derive(Debug, Serialize)]
+struct Speedups {
+    /// `rs_encode` / `rs_encode_reference`.
+    rs_encode: f64,
+    /// `rs_decode_t15` / `rs_decode_t15_reference` — gated.
+    rs_decode_t15: f64,
+    /// `rs_decode_clean` / `rs_decode_clean_reference`.
+    rs_decode_clean: f64,
+    /// `mc_symbol_loop` / `mc_symbol_loop_reference` — gated.
+    mc_symbol_loop: f64,
+    /// `mc_mpi_loop` / `mc_mpi_loop_reference` (ungated; serial phase walk).
+    mc_mpi_loop: f64,
+    /// The gate threshold for the two gated ratios.
+    gate: f64,
+}
+
+/// Deterministic outcomes: identical in every run at every thread count
+/// (CI byte-compares this block across `LIGHTWAVE_THREADS`).
+#[derive(Debug, Serialize)]
+struct Identity {
+    /// FNV-1a over every fast-decoded word and result code.
+    rs_decode_checksum: u64,
+    /// Codewords where fast and reference decode agreed exactly.
+    rs_reference_matches: u64,
+    /// Symbol corrections reported by the fast decoder.
+    rs_corrected_symbols: u64,
+    /// Detected-uncorrectable codewords (the t+1 = 16-error set).
+    rs_decode_failures: u64,
+    /// Clean-channel MC bit errors (fast == reference, asserted).
+    mc_clean_errors: u64,
+    /// MPI-channel MC bit errors (fast == reference, asserted).
+    mc_mpi_errors: u64,
+    /// Pooled `simulate_ber_par` bit errors on the ambient pool.
+    mc_pooled_errors: u64,
+    /// Same pooled run through the reference loop.
+    mc_pooled_reference_errors: u64,
+}
+
+/// The whole report.
+#[derive(Debug, Serialize)]
+struct Report {
+    /// Schema tag for downstream tooling.
+    schema: String,
+    /// `full` or `smoke`.
+    mode: String,
+    /// Worker threads of the ambient pool (pooled identity runs only;
+    /// every timed kernel is single-threaded serial code).
+    threads: usize,
+    /// One record per kernel (fast first, then its reference).
+    workloads: Vec<Workload>,
+    /// In-run fast-vs-reference ratios.
+    speedups: Speedups,
+    /// Deterministic cross-thread-count outcomes.
+    identity: Identity,
+}
+
+/// Times an interleaved fast/reference pair: each rep runs `fast` then
+/// `reference` back to back, so both sides of the ratio sample the same
+/// scheduler-noise window, and each side keeps its best rep. Both
+/// closures must be idempotent — outputs are captured (and
+/// cross-checked) outside the timed region. Best-of-reps on adjacent
+/// pairs is what keeps the gate stable on CI runners where
+/// `LIGHTWAVE_THREADS` oversubscribes the host.
+fn timed_pair(
+    ids: (&str, &str),
+    unit: &str,
+    n: u64,
+    reps: u32,
+    mut fast: impl FnMut(),
+    mut reference: impl FnMut(),
+) -> (Workload, Workload) {
+    let mut best = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        fast();
+        best.0 = best.0.min(t0.elapsed().as_secs_f64().max(1e-9));
+        let t1 = Instant::now();
+        reference();
+        best.1 = best.1.min(t1.elapsed().as_secs_f64().max(1e-9));
+    }
+    let mk = |id: &str, secs: f64| Workload {
+        id: id.to_string(),
+        unit: unit.to_string(),
+        n,
+        per_sec: n as f64 / secs,
+    };
+    (mk(ids.0, best.0), mk(ids.1, best.1))
+}
+
+fn fnv1a(h: &mut u64, v: u64) {
+    let mut x = *h;
+    for b in v.to_le_bytes() {
+        x ^= u64::from(b);
+        x = x.wrapping_mul(0x100_0000_01b3);
+    }
+    *h = x;
+}
+
+/// Deterministic corpus: `count` KP4 codewords, each with `nerr` distinct
+/// symbol errors injected.
+fn corpus(rs: &ReedSolomon, count: usize, nerr: usize, seed: u64) -> Vec<Vec<Gf>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let data: Vec<Gf> = (0..rs.k()).map(|_| rng.random_range(0..1024u16)).collect();
+            let mut cw = rs.encode(&data);
+            let mut positions: Vec<usize> = (0..rs.n()).collect();
+            for i in 0..nerr {
+                let j = rng.random_range(i..positions.len());
+                positions.swap(i, j);
+                cw[positions[i]] ^= rng.random_range(1..1024u16);
+            }
+            cw
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR9.json".to_string());
+
+    let rs = ReedSolomon::kp4();
+    let reference = ReferenceRs::new(544, 514);
+    let rx = Pam4Receiver::cwdm4_50g();
+
+    // Workload sizes: the reference paths run the same n as the fast
+    // paths (they are the denominator of an in-run ratio, and the
+    // decoded outputs double as the bit-identity corpus).
+    let (enc_n, dec_n, clean_n, mc_n, mpi_n) = if smoke {
+        (600usize, 120usize, 300usize, 400_000u64, 150_000u64)
+    } else {
+        (6_000, 1_200, 3_000, 4_000_000, 1_500_000)
+    };
+
+    // --- RS encode ---------------------------------------------------
+    let mut enc_rng = StdRng::seed_from_u64(0xE0);
+    let messages: Vec<Vec<Gf>> = (0..enc_n)
+        .map(|_| {
+            (0..rs.k())
+                .map(|_| enc_rng.random_range(0..1024u16))
+                .collect()
+        })
+        .collect();
+    let mut cw_buf: Vec<Gf> = Vec::new();
+    rs.encode_into(&messages[0], &mut cw_buf); // warm
+    let reps = 5;
+    let enc_sink = std::cell::Cell::new(0u64);
+    let (enc, enc_ref) = timed_pair(
+        ("rs_encode", "rs_encode_reference"),
+        "codewords_per_sec",
+        enc_n as u64,
+        reps,
+        || {
+            for m in &messages {
+                rs.encode_into(m, &mut cw_buf);
+                enc_sink.set(
+                    enc_sink
+                        .get()
+                        .wrapping_add(u64::from(cw_buf[rs.n() - 1]) + 1),
+                );
+            }
+        },
+        || {
+            for m in &messages {
+                let cw = reference.encode(m);
+                enc_sink.set(enc_sink.get().wrapping_add(u64::from(cw[rs.n() - 1]) + 1));
+            }
+        },
+    );
+    // Bit-identity of the encoders over the whole message set.
+    for m in &messages {
+        rs.encode_into(m, &mut cw_buf);
+        assert_eq!(
+            cw_buf,
+            reference.encode(m),
+            "encode fast/reference diverged"
+        );
+    }
+
+    // --- RS decode, t = 15 errors ------------------------------------
+    let dec_corpus = corpus(&rs, dec_n, rs.t(), 0xD15);
+    let mut scratch = RsScratch::new();
+    let mut checksum = 0xcbf2_9ce4_8422_2325u64;
+    {
+        let mut warm = dec_corpus[0].clone();
+        let _ = rs.decode_with(&mut warm, &mut scratch);
+    }
+    let mut word_f: Vec<Gf> = Vec::new();
+    let mut word_r: Vec<Gf> = Vec::new();
+    let dec_sink = std::cell::Cell::new(0u64);
+    let (dec, dec_ref) = timed_pair(
+        ("rs_decode_t15", "rs_decode_t15_reference"),
+        "codewords_per_sec",
+        dec_n as u64,
+        reps,
+        || {
+            for cw in &dec_corpus {
+                word_f.clear();
+                word_f.extend_from_slice(cw);
+                let ok = rs.decode_with(&mut word_f, &mut scratch).is_ok();
+                dec_sink.set(dec_sink.get() + u64::from(ok));
+            }
+        },
+        || {
+            for cw in &dec_corpus {
+                word_r.clear();
+                word_r.extend_from_slice(cw);
+                dec_sink.set(dec_sink.get() + u64::from(reference.decode(&mut word_r).is_ok()));
+            }
+        },
+    );
+    assert_eq!(
+        dec_sink.get(),
+        2 * u64::from(reps) * dec_n as u64,
+        "every t-error decode must succeed"
+    );
+    // Untimed cross-check + identity accumulation over the same corpus.
+    let mut reference_matches = 0u64;
+    let mut corrected_symbols = 0u64;
+    for cw in &dec_corpus {
+        let mut fast_word = cw.clone();
+        let mut ref_word = cw.clone();
+        let fast_res = rs.decode_with(&mut fast_word, &mut scratch);
+        let ref_res = reference.decode(&mut ref_word);
+        assert_eq!(fast_res, ref_res, "decode fast/reference result diverged");
+        assert_eq!(fast_word, ref_word, "decode fast/reference buffer diverged");
+        reference_matches += 1;
+        if let Ok(n) = fast_res {
+            corrected_symbols += n as u64;
+        }
+        for &s in &fast_word {
+            fnv1a(&mut checksum, u64::from(s));
+        }
+        fnv1a(&mut checksum, u64::from(fast_res.is_ok()));
+    }
+
+    // --- RS decode, clean codewords (syndrome early-out path) --------
+    let clean_corpus = corpus(&rs, clean_n, 0, 0xC1EA);
+    let clean_sink = std::cell::Cell::new(0u64);
+    let (dec_clean, dec_clean_ref) = timed_pair(
+        ("rs_decode_clean", "rs_decode_clean_reference"),
+        "codewords_per_sec",
+        clean_n as u64,
+        reps,
+        || {
+            for cw in &clean_corpus {
+                word_f.clear();
+                word_f.extend_from_slice(cw);
+                let ok = rs.decode_with(&mut word_f, &mut scratch).is_ok();
+                clean_sink.set(clean_sink.get() + u64::from(ok));
+            }
+        },
+        || {
+            for cw in &clean_corpus {
+                word_r.clear();
+                word_r.extend_from_slice(cw);
+                let ok = reference.decode(&mut word_r).is_ok();
+                clean_sink.set(clean_sink.get() + u64::from(ok));
+            }
+        },
+    );
+    assert_eq!(
+        clean_sink.get(),
+        2 * u64::from(reps) * clean_n as u64,
+        "clean decodes must succeed"
+    );
+
+    // --- RS decode failures at t + 1 (identity corpus, untimed) ------
+    let fail_corpus = corpus(&rs, if smoke { 20 } else { 100 }, rs.t() + 1, 0xF16);
+    let mut decode_failures = 0u64;
+    for cw in &fail_corpus {
+        let mut fast_word = cw.clone();
+        let mut ref_word = cw.clone();
+        let fast_res = rs.decode_with(&mut fast_word, &mut scratch);
+        let ref_res = reference.decode(&mut ref_word);
+        assert_eq!(fast_res, ref_res, "t+1 fast/reference result diverged");
+        assert_eq!(fast_word, ref_word, "t+1 fast/reference buffer diverged");
+        decode_failures += u64::from(fast_res.is_err());
+        fnv1a(&mut checksum, u64::from(fast_res.is_err()));
+    }
+
+    // --- MC clean symbol loop ----------------------------------------
+    let clean_chan = McChannel::new(&rx, Dbm(-13.0), 0.0, None);
+    let mut mc_clean_errors = 0u64;
+    {
+        let mut warm_rng = StdRng::seed_from_u64(1);
+        let _ = clean_chan.run(10_000, &mut warm_rng);
+    }
+    let mut mc_ref_errors = 0u64;
+    let (mc_fast, mc_ref) = timed_pair(
+        ("mc_symbol_loop", "mc_symbol_loop_reference"),
+        "symbols_per_sec",
+        mc_n,
+        reps,
+        || {
+            let mut rng = StdRng::seed_from_u64(42);
+            mc_clean_errors = clean_chan.run(mc_n, &mut rng);
+        },
+        || {
+            let mut rng = StdRng::seed_from_u64(42);
+            mc_ref_errors = mc::reference::run(&clean_chan, mc_n, &mut rng);
+        },
+    );
+    assert_eq!(
+        mc_clean_errors, mc_ref_errors,
+        "clean MC fast/reference diverged"
+    );
+
+    // --- MC MPI symbol loop ------------------------------------------
+    let mpi_chan = McChannel::new(&rx, Dbm(-12.5), mpi_db(-32.0), None);
+    let mut mc_mpi_errors = 0u64;
+    let mut mpi_ref_errors = 0u64;
+    let (mpi_fast, mpi_ref) = timed_pair(
+        ("mc_mpi_loop", "mc_mpi_loop_reference"),
+        "symbols_per_sec",
+        mpi_n,
+        reps,
+        || {
+            let mut rng = StdRng::seed_from_u64(43);
+            mc_mpi_errors = mpi_chan.run(mpi_n, &mut rng);
+        },
+        || {
+            let mut rng = StdRng::seed_from_u64(43);
+            mpi_ref_errors = mc::reference::run(&mpi_chan, mpi_n, &mut rng);
+        },
+    );
+    assert_eq!(
+        mc_mpi_errors, mpi_ref_errors,
+        "MPI MC fast/reference diverged"
+    );
+
+    // --- Pooled identity across LIGHTWAVE_THREADS --------------------
+    let pool = Pool::from_env();
+    let pooled_symbols = mc::DEFAULT_SHARD_SYMBOLS * 3 + 977;
+    let pooled = mc::simulate_ber_with_pool(
+        &pool,
+        &rx,
+        Dbm(-12.5),
+        mpi_db(-32.0),
+        None,
+        pooled_symbols,
+        42,
+    )
+    .0;
+    let pooled_ref = mc::reference::simulate_ber_with_pool(
+        &pool,
+        &rx,
+        Dbm(-12.5),
+        mpi_db(-32.0),
+        None,
+        pooled_symbols,
+        42,
+    )
+    .0;
+    assert_eq!(pooled, pooled_ref, "pooled fast/reference diverged");
+
+    let speedups = Speedups {
+        rs_encode: enc.per_sec / enc_ref.per_sec.max(1e-9),
+        rs_decode_t15: dec.per_sec / dec_ref.per_sec.max(1e-9),
+        rs_decode_clean: dec_clean.per_sec / dec_clean_ref.per_sec.max(1e-9),
+        mc_symbol_loop: mc_fast.per_sec / mc_ref.per_sec.max(1e-9),
+        mc_mpi_loop: mpi_fast.per_sec / mpi_ref.per_sec.max(1e-9),
+        gate: GATE,
+    };
+    let identity = Identity {
+        rs_decode_checksum: checksum,
+        rs_reference_matches: reference_matches,
+        rs_corrected_symbols: corrected_symbols,
+        rs_decode_failures: decode_failures,
+        mc_clean_errors,
+        mc_mpi_errors,
+        mc_pooled_errors: pooled.errors,
+        mc_pooled_reference_errors: pooled_ref.errors,
+    };
+    let report = Report {
+        schema: "lightwave/bench-pr9/v1".to_string(),
+        mode: if smoke { "smoke" } else { "full" }.to_string(),
+        threads: pool.threads(),
+        workloads: vec![
+            enc,
+            enc_ref,
+            dec,
+            dec_ref,
+            dec_clean,
+            dec_clean_ref,
+            mc_fast,
+            mc_ref,
+            mpi_fast,
+            mpi_ref,
+        ],
+        speedups,
+        identity,
+    };
+
+    for w in &report.workloads {
+        println!("{:<26} n={:<9} {:>14.0} {}", w.id, w.n, w.per_sec, w.unit);
+    }
+    println!(
+        "in-run speedups: rs_decode_t15 {:.1}x, mc_symbol_loop {:.1}x (gate ≥{GATE:.0}x); \
+         rs_encode {:.1}x, rs_decode_clean {:.1}x, mc_mpi_loop {:.1}x",
+        report.speedups.rs_decode_t15,
+        report.speedups.mc_symbol_loop,
+        report.speedups.rs_encode,
+        report.speedups.rs_decode_clean,
+        report.speedups.mc_mpi_loop,
+    );
+    println!(
+        "identity: rs checksum {:#018x}, {} codewords cross-checked, mc clean/mpi/pooled errors {}/{}/{}",
+        report.identity.rs_decode_checksum,
+        report.identity.rs_reference_matches,
+        report.identity.mc_clean_errors,
+        report.identity.mc_mpi_errors,
+        report.identity.mc_pooled_errors,
+    );
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json + "\n").expect("write BENCH_PR9.json");
+    println!("wrote {out}");
+
+    assert!(enc_sink.get() > 0);
+    assert!(
+        report.speedups.rs_decode_t15 >= GATE,
+        "perf gate: fast RS decode ({:.0}/s) must beat the in-process \
+         reference ({:.0}/s) by >= {GATE}x, got {:.1}x",
+        report.workloads[2].per_sec,
+        report.workloads[3].per_sec,
+        report.speedups.rs_decode_t15
+    );
+    assert!(
+        report.speedups.mc_symbol_loop >= GATE,
+        "perf gate: fast MC symbol loop ({:.0}/s) must beat the in-process \
+         reference ({:.0}/s) by >= {GATE}x, got {:.1}x",
+        report.workloads[6].per_sec,
+        report.workloads[7].per_sec,
+        report.speedups.mc_symbol_loop
+    );
+}

@@ -3,8 +3,12 @@
 //! Elements are 10-bit values; multiplication uses log/antilog tables built
 //! from the primitive polynomial x¹⁰ + x³ + 1 (0x409), the polynomial used
 //! by IEEE 802.3 clause 91 KP4 FEC.
-
-use std::sync::OnceLock;
+//!
+//! The tables are `const`-built flat arrays — there is no lazy
+//! initialization, so first use from concurrent threads is trivially safe
+//! and every multiply is a pair of loads with no branch on zero: `log` maps
+//! 0 to a sentinel past the group order, and the antilog table is
+//! zero-padded so any product involving the sentinel lands on 0.
 
 /// Field order.
 pub const FIELD_SIZE: usize = 1024;
@@ -16,32 +20,54 @@ const PRIMITIVE_POLY: u32 = 0x409;
 /// A GF(2¹⁰) element (only the low 10 bits are meaningful).
 pub type Gf = u16;
 
-struct Tables {
-    /// exp[i] = α^i for i in 0..2·GROUP_ORDER (doubled to skip mod in mul).
-    exp: Vec<Gf>,
-    /// log[x] = i such that α^i = x, for x in 1..FIELD_SIZE.
-    log: Vec<u16>,
+/// Sentinel "log of zero": past any real log sum, indexing the zero-padded
+/// region of [`EXP_MUL`].
+const LOG_ZERO: u16 = 2 * GROUP_ORDER as u16;
+
+/// exp[i] = α^i for i in 0..2·GROUP_ORDER (doubled to skip mod in mul).
+static EXP: [Gf; 2 * GROUP_ORDER] = build_exp();
+/// log[x] = i such that α^i = x for x ≥ 1; log[0] = the [`LOG_ZERO`] sentinel.
+static LOG: [u16; FIELD_SIZE] = build_log();
+/// Antilog extended with zeros so `EXP_MUL[log a + log b]` is correct even
+/// when either log is the zero sentinel (max index 2·LOG_ZERO = 4092).
+static EXP_MUL: [Gf; 4096] = build_exp_mul();
+
+const fn build_exp() -> [Gf; 2 * GROUP_ORDER] {
+    let mut exp = [0 as Gf; 2 * GROUP_ORDER];
+    let mut x: u32 = 1;
+    let mut i = 0;
+    while i < GROUP_ORDER {
+        exp[i] = x as Gf;
+        exp[i + GROUP_ORDER] = x as Gf;
+        x <<= 1;
+        if x & (FIELD_SIZE as u32) != 0 {
+            x ^= PRIMITIVE_POLY;
+        }
+        i += 1;
+    }
+    exp
 }
 
-fn tables() -> &'static Tables {
-    static TABLES: OnceLock<Tables> = OnceLock::new();
-    TABLES.get_or_init(|| {
-        let mut exp = vec![0u16; 2 * GROUP_ORDER];
-        let mut log = vec![0u16; FIELD_SIZE];
-        let mut x: u32 = 1;
-        for (i, e) in exp.iter_mut().enumerate().take(GROUP_ORDER) {
-            *e = x as Gf;
-            log[x as usize] = i as u16;
-            x <<= 1;
-            if x & (FIELD_SIZE as u32) != 0 {
-                x ^= PRIMITIVE_POLY;
-            }
-        }
-        for i in GROUP_ORDER..2 * GROUP_ORDER {
-            exp[i] = exp[i - GROUP_ORDER];
-        }
-        Tables { exp, log }
-    })
+const fn build_log() -> [u16; FIELD_SIZE] {
+    let exp = build_exp();
+    let mut log = [LOG_ZERO; FIELD_SIZE];
+    let mut i = 0;
+    while i < GROUP_ORDER {
+        log[exp[i] as usize] = i as u16;
+        i += 1;
+    }
+    log
+}
+
+const fn build_exp_mul() -> [Gf; 4096] {
+    let exp = build_exp();
+    let mut ext = [0 as Gf; 4096];
+    let mut i = 0;
+    while i < 2 * GROUP_ORDER {
+        ext[i] = exp[i];
+        i += 1;
+    }
+    ext
 }
 
 /// Field addition (= subtraction): XOR.
@@ -50,14 +76,10 @@ pub fn add(a: Gf, b: Gf) -> Gf {
     a ^ b
 }
 
-/// Field multiplication.
+/// Field multiplication (branch-free: two log loads, one padded antilog load).
 #[inline]
 pub fn mul(a: Gf, b: Gf) -> Gf {
-    if a == 0 || b == 0 {
-        return 0;
-    }
-    let t = tables();
-    t.exp[t.log[a as usize] as usize + t.log[b as usize] as usize]
+    EXP_MUL[(LOG[a as usize] + LOG[b as usize]) as usize]
 }
 
 /// Multiplicative inverse.
@@ -67,8 +89,7 @@ pub fn mul(a: Gf, b: Gf) -> Gf {
 #[inline]
 pub fn inv(a: Gf) -> Gf {
     assert!(a != 0, "zero has no multiplicative inverse in GF(2^10)");
-    let t = tables();
-    t.exp[GROUP_ORDER - t.log[a as usize] as usize]
+    EXP[GROUP_ORDER - LOG[a as usize] as usize]
 }
 
 /// Field division `a / b`.
@@ -84,7 +105,7 @@ pub fn div(a: Gf, b: Gf) -> Gf {
 #[inline]
 pub fn alpha_pow(i: i64) -> Gf {
     let e = i.rem_euclid(GROUP_ORDER as i64) as usize;
-    tables().exp[e]
+    EXP[e]
 }
 
 /// Discrete log base α.
@@ -94,7 +115,7 @@ pub fn alpha_pow(i: i64) -> Gf {
 #[inline]
 pub fn log(a: Gf) -> u16 {
     assert!(a != 0, "zero has no discrete log");
-    tables().log[a as usize]
+    LOG[a as usize]
 }
 
 /// Evaluates a polynomial (coefficients lowest-degree first) at `x`.
@@ -104,6 +125,85 @@ pub fn poly_eval(coeffs: &[Gf], x: Gf) -> Gf {
         acc = add(mul(acc, x), c);
     }
     acc
+}
+
+/// In-place batched multiply of a slice by a constant: `xs[i] ·= c`.
+///
+/// One log lookup for the constant is hoisted; each element is then a
+/// branch-free load/add/load, which the compiler unrolls cleanly.
+pub fn mul_slice(c: Gf, xs: &mut [Gf]) {
+    let lc = LOG[c as usize];
+    for x in xs.iter_mut() {
+        *x = EXP_MUL[(lc + LOG[*x as usize]) as usize];
+    }
+}
+
+/// Batched multiply-accumulate: `dst[i] ^= c·src[i]` over the common prefix.
+pub fn mul_add_slice(c: Gf, src: &[Gf], dst: &mut [Gf]) {
+    let lc = LOG[c as usize];
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d ^= EXP_MUL[(lc + LOG[s as usize]) as usize];
+    }
+}
+
+/// A precomputed multiply-by-constant table: `table[x] = c·x` for every
+/// field element.
+///
+/// This is the workhorse of the fast RS kernels: a Chien/syndrome "alpha
+/// stride" is a `MulTable` for `α^j`, turning each Horner step into a
+/// single indexed load with no log/antilog arithmetic at all.
+#[derive(Clone)]
+pub struct MulTable {
+    table: [Gf; FIELD_SIZE],
+}
+
+impl MulTable {
+    /// Builds the table for multiplication by `c`.
+    pub fn new(c: Gf) -> MulTable {
+        let mut table = [0 as Gf; FIELD_SIZE];
+        let lc = LOG[c as usize];
+        for (x, slot) in table.iter_mut().enumerate() {
+            *slot = EXP_MUL[(lc + LOG[x]) as usize];
+        }
+        MulTable { table }
+    }
+
+    /// Builds the stride table for multiplication by `α^j`.
+    pub fn alpha_stride(j: i64) -> MulTable {
+        MulTable::new(alpha_pow(j))
+    }
+
+    /// `c·x` as one load.
+    #[inline]
+    pub fn mul(&self, x: Gf) -> Gf {
+        self.table[x as usize]
+    }
+
+    /// In-place batched multiply of a slice through the table.
+    pub fn mul_slice(&self, xs: &mut [Gf]) {
+        for x in xs.iter_mut() {
+            *x = self.table[*x as usize];
+        }
+    }
+
+    /// Evaluates a polynomial (coefficients lowest-degree first) at this
+    /// table's constant via Horner — `poly_eval` with the multiply folded
+    /// into the precomputed stride.
+    pub fn poly_eval(&self, coeffs: &[Gf]) -> Gf {
+        let mut acc: Gf = 0;
+        for &c in coeffs.iter().rev() {
+            acc = self.table[acc as usize] ^ c;
+        }
+        acc
+    }
+}
+
+impl std::fmt::Debug for MulTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MulTable")
+            .field("c", &self.table[1])
+            .finish()
+    }
 }
 
 #[cfg(test)]
@@ -126,6 +226,14 @@ mod tests {
         for &(a, b, c) in &[(3u16, 7u16, 1000u16), (512, 513, 2), (1023, 1023, 1023)] {
             assert_eq!(mul(a, b), mul(b, a));
             assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+        }
+    }
+
+    #[test]
+    fn mul_by_zero_is_zero_everywhere() {
+        for a in 0..FIELD_SIZE as Gf {
+            assert_eq!(mul(a, 0), 0);
+            assert_eq!(mul(0, a), 0);
         }
     }
 
@@ -172,5 +280,60 @@ mod tests {
         assert_eq!(alpha_pow(-1), inv(alpha_pow(1)));
         assert_eq!(alpha_pow(GROUP_ORDER as i64), 1);
         assert_eq!(alpha_pow(0), 1);
+    }
+
+    #[test]
+    fn mul_slice_matches_scalar_mul() {
+        for c in [0 as Gf, 1, 2, 513, 1023] {
+            let mut xs: Vec<Gf> = (0..FIELD_SIZE as Gf).collect();
+            mul_slice(c, &mut xs);
+            for (x, &got) in xs.iter().enumerate() {
+                assert_eq!(got, mul(c, x as Gf));
+            }
+        }
+    }
+
+    #[test]
+    fn mul_add_slice_matches_scalar() {
+        let src: Vec<Gf> = (0..64).map(|i| (i * 37 % 1024) as Gf).collect();
+        let mut dst: Vec<Gf> = (0..64).map(|i| (i * 11 % 1024) as Gf).collect();
+        let expect: Vec<Gf> = src
+            .iter()
+            .zip(&dst)
+            .map(|(&s, &d)| d ^ mul(77, s))
+            .collect();
+        mul_add_slice(77, &src, &mut dst);
+        assert_eq!(dst, expect);
+    }
+
+    #[test]
+    fn mul_table_matches_scalar_and_poly_eval() {
+        for c in [0 as Gf, 1, 7, 1023] {
+            let t = MulTable::new(c);
+            for x in 0..FIELD_SIZE as Gf {
+                assert_eq!(t.mul(x), mul(c, x));
+            }
+        }
+        let stride = MulTable::alpha_stride(5);
+        let coeffs: Vec<Gf> = vec![3, 0, 911, 1, 1023];
+        assert_eq!(stride.poly_eval(&coeffs), poly_eval(&coeffs, alpha_pow(5)));
+    }
+
+    /// Regression for the former lazy-`tables()` sharp edge: two threads
+    /// racing the very first field use must agree on every product. With
+    /// const tables there is no initialization to race, and this pins it.
+    #[test]
+    fn concurrent_first_use_agrees() {
+        let worker = || -> Vec<Gf> {
+            (0..FIELD_SIZE as Gf)
+                .map(|x| mul(x, x.wrapping_mul(997) % FIELD_SIZE as Gf) ^ alpha_pow(x as i64))
+                .collect()
+        };
+        let (a, b) = std::thread::scope(|s| {
+            let ha = s.spawn(worker);
+            let hb = s.spawn(worker);
+            (ha.join().unwrap(), hb.join().unwrap())
+        });
+        assert_eq!(a, b);
     }
 }

@@ -39,9 +39,12 @@ pub mod concat;
 pub mod gf;
 pub mod hamming;
 pub mod interleave;
+pub mod reference;
 pub mod rs;
+pub mod scratch;
 
 pub use concat::{ConcatenatedCode, InnerDecoding};
 pub use hamming::ExtHamming;
 pub use interleave::Interleaver;
 pub use rs::ReedSolomon;
+pub use scratch::RsScratch;

@@ -1,0 +1,44 @@
+//! Reusable working storage for the fast RS decode kernels.
+//!
+//! [`ReedSolomon::decode_with`](crate::rs::ReedSolomon::decode_with) runs
+//! entirely out of one of these: syndromes, Berlekamp–Massey state, the
+//! Chien stepping registers, and the Forney polynomials all live in
+//! caller-owned buffers whose capacity survives across calls, so a
+//! steady-state decode loop performs zero heap allocation.
+
+use crate::gf::Gf;
+
+/// Scratch buffers for one in-flight RS decode.
+///
+/// A scratch is code-agnostic: buffers are sized on first use and grow to
+/// the largest code decoded through them, so one scratch can serve decodes
+/// of different (n, k) back to back.
+#[derive(Debug, Default, Clone)]
+pub struct RsScratch {
+    /// The 2t syndromes of the received word.
+    pub(crate) synd: Vec<Gf>,
+    /// Error-locator polynomial σ(x), lowest-degree first.
+    pub(crate) sigma: Vec<Gf>,
+    /// Berlekamp–Massey's previous locator B(x).
+    pub(crate) prev: Vec<Gf>,
+    /// Berlekamp–Massey swap buffer.
+    pub(crate) tmp: Vec<Gf>,
+    /// Error-evaluator polynomial Ω(x).
+    pub(crate) omega: Vec<Gf>,
+    /// Formal derivative σ'(x).
+    pub(crate) deriv: Vec<Gf>,
+    /// Chien stepping registers: term_k = σ_k·(α^{−p})^k.
+    pub(crate) term: Vec<Gf>,
+    /// Located error positions (vector indices).
+    pub(crate) positions: Vec<usize>,
+    /// Forney error magnitudes, parallel to `positions`.
+    pub(crate) magnitudes: Vec<Gf>,
+}
+
+impl RsScratch {
+    /// Creates an empty scratch; buffers are allocated lazily on first
+    /// decode and reused afterwards.
+    pub fn new() -> RsScratch {
+        RsScratch::default()
+    }
+}

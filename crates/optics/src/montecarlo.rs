@@ -18,8 +18,8 @@ use crate::ber::{OimConfig, Pam4Receiver};
 use lightwave_par::{Pool, RunStats};
 use lightwave_units::{Ber, Dbm};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use rand_distr::{Distribution, Normal};
+use rand::{RngCore, RngExt, SeedableRng};
+use rand_distr::{standard_normal_from_bits, Distribution, Normal};
 use serde::{Deserialize, Serialize};
 
 /// Result of a Monte-Carlo BER run.
@@ -71,6 +71,14 @@ const BIT_ERRORS: [[u64; 4]; 4] = {
 /// vanishes; small enough to load-balance across workers.
 pub const DEFAULT_SHARD_SYMBOLS: u64 = 1 << 16;
 
+/// Symbols per noise block in the batched symbol loop: raw noise draws are
+/// generated (and gate-tested) a block at a time, and only the rare
+/// near-threshold survivors get the full Box–Muller + slicing treatment.
+/// The block size never affects results — the RNG stream and the error
+/// tally are position-independent — it only bounds the pending-buffer
+/// working set.
+pub const NOISE_BLOCK_SYMBOLS: u64 = 4096;
+
 /// The precomputed PAM4 channel for the symbol loop: per-level signal
 /// currents, per-level additive-noise samplers, slicing thresholds, and
 /// per-level MPI beat amplitudes. Everything RNG-independent is hoisted
@@ -83,6 +91,23 @@ pub struct McChannel {
     beat_scale: [f64; 4],
     phase_step: Normal<f64>,
     has_mpi: bool,
+    /// Per-level additive-noise σ (the `noise` samplers' std-dev, hoisted
+    /// so the batched loop can scale raw normals without the sampler).
+    sigma: [f64; 4],
+    /// Clean-path skip gate: a symbol of level l whose |z| bound is below
+    /// `qeff[l]` provably slices back to level l (distance to the nearest
+    /// deciding threshold in σ units, shrunk by a 1e-9 relative margin).
+    /// `-1.0` disables the gate for that level.
+    qeff: [f64; 4],
+    /// MPI-path skip gate: same idea with the worst-case beat amplitude
+    /// already subtracted from the threshold distance (|cos φ| ≤ 1).
+    qeff_mpi: [f64; 4],
+    /// Upper bound on the Box–Muller radius √(−2·ln u1) given the top 8
+    /// bits of the first raw draw (bin 255 is unbounded).
+    rmax: [f64; 256],
+    /// Upper bound on |cos(TAU·u2)| given the top 8 bits of the second raw
+    /// draw.
+    cosmax: [f64; 256],
 }
 
 impl McChannel {
@@ -139,6 +164,66 @@ impl McChannel {
         for (s, &p) in beat_scale.iter_mut().zip(&levels_w) {
             *s = xi_amp * rx.responsivity * (p * p_mpi_w).sqrt();
         }
+        let mut sigma = [0.0; 4];
+        for (s, d) in sigma.iter_mut().zip(&noise) {
+            *s = d.std_dev();
+        }
+        // Distance from each level's nominal current to the nearest
+        // threshold whose crossing would change the sliced decision.
+        let [t0, t1, t2] = thresholds;
+        let dmin = [
+            t0 - currents[0],
+            (currents[1] - t0).min(t1 - currents[1]),
+            (currents[2] - t1).min(t2 - currents[2]),
+            currents[3] - t2,
+        ];
+        // Conservative skip thresholds in σ units: a symbol is provably
+        // error-free when the |z| bound falls below q_eff. The 1e-9
+        // relative margins (here and in the LUTs) dwarf any few-ulp
+        // rounding in the exact-path float expressions, so the gate can
+        // never skip a symbol the exact path would have sliced wrong.
+        let mut qeff = [0.0; 4];
+        let mut qeff_mpi = [0.0; 4];
+        for l in 0..4 {
+            qeff[l] = if dmin[l] > 0.0 && sigma[l] > 0.0 {
+                dmin[l] / sigma[l] * (1.0 - 1e-9)
+            } else {
+                -1.0
+            };
+            let headroom = dmin[l] - beat_scale[l];
+            qeff_mpi[l] = if headroom > 0.0 && sigma[l] > 0.0 {
+                headroom / sigma[l] * (1.0 - 1e-9)
+            } else {
+                -1.0
+            };
+        }
+        // Box–Muller radius bound per top-8-bit bin of the first draw:
+        // u1 = 1 − unit(b1) strictly exceeds 1 − (bin+1)/256 (exact
+        // dyadics), so r = √(−2·ln u1) stays below the bin's bound.
+        let mut rmax = [0.0; 256];
+        for (bin, r) in rmax.iter_mut().enumerate() {
+            let u1_min = 1.0 - (bin as f64 + 1.0) / 256.0;
+            *r = if u1_min > 0.0 {
+                (-2.0 * u1_min.ln()).sqrt() * (1.0 + 1e-9)
+            } else {
+                f64::INFINITY
+            };
+        }
+        // |cos(TAU·u2)| bound per top-8-bit bin of the second draw: the
+        // extremum is at an endpoint unless a multiple of π lies inside.
+        let mut cosmax = [0.0; 256];
+        for (bin, c) in cosmax.iter_mut().enumerate() {
+            let lo = std::f64::consts::TAU * (bin as f64 / 256.0);
+            let hi = std::f64::consts::TAU * ((bin as f64 + 1.0) / 256.0);
+            let crosses_pi = (hi / std::f64::consts::PI).floor()
+                > (lo / std::f64::consts::PI).floor()
+                || bin == 0;
+            *c = if crosses_pi {
+                1.0
+            } else {
+                (lo.cos().abs().max(hi.cos().abs()) * (1.0 + 1e-9)).min(1.0)
+            };
+        }
         McChannel {
             currents,
             noise,
@@ -146,23 +231,142 @@ impl McChannel {
             beat_scale,
             phase_step: Normal::new(0.0, 0.05).expect("valid sigma"),
             has_mpi: p_mpi_w > 0.0,
+            sigma,
+            qeff,
+            qeff_mpi,
+            rmax,
+            cosmax,
         }
     }
 
     /// Transmits `symbols` random Gray-coded PAM4 symbols over the channel
     /// with `rng`, returning the bit-error count. One contiguous stream:
     /// the MPI beat phase wanders across the whole range.
+    ///
+    /// This is the batched kernel (DESIGN §6.8): raw RNG draws are
+    /// consumed in [`NOISE_BLOCK_SYMBOLS`]-sized blocks, every symbol's
+    /// draws are gate-tested against the threshold-distance LUT bound, and
+    /// only near-threshold survivors get the Box–Muller transcendentals
+    /// and PAM4 slicing. The RNG stream discipline is identical to
+    /// [`reference::run`] — same draws in the same order — so the error
+    /// count is bit-identical at any block size or thread count.
     pub fn run(&self, symbols: u64, rng: &mut StdRng) -> u64 {
         assert!(symbols > 0, "must simulate at least one symbol");
+        let phase: f64 = rng.random_range(0.0..std::f64::consts::TAU);
+        if self.has_mpi {
+            self.run_mpi(symbols, rng, phase)
+        } else {
+            self.run_clean(symbols, rng)
+        }
+    }
+
+    /// Clean-channel batched loop: 4 raw u64s per symbol (two for the
+    /// level, two for the noise), one multiply + compare for the gate.
+    // The gate compares as `!(bound < q)` on purpose: a NaN bound (e.g.
+    // INFINITY·0.0 from the LUT corners) must fall through to the exact
+    // path, which `bound >= q` would not guarantee.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    fn run_clean(&self, symbols: u64, rng: &mut StdRng) -> u64 {
         let [t0, t1, t2] = self.thresholds;
+        let mut errors = 0u64;
+        let mut pending: Vec<(usize, u64, u64)> =
+            Vec::with_capacity(NOISE_BLOCK_SYMBOLS.min(symbols) as usize);
+        let mut remaining = symbols;
+        while remaining > 0 {
+            let block = remaining.min(NOISE_BLOCK_SYMBOLS);
+            pending.clear();
+            for _ in 0..block {
+                let level = rng.random_range(0usize..4);
+                let b1 = rng.next_u64();
+                let b2 = rng.next_u64();
+                let bound = self.rmax[(b1 >> 56) as usize] * self.cosmax[(b2 >> 56) as usize];
+                // `!(bound < q)` keeps NaN bounds on the exact path.
+                if !(bound < self.qeff[level]) {
+                    pending.push((level, b1, b2));
+                }
+            }
+            for &(level, b1, b2) in &pending {
+                let z = standard_normal_from_bits(b1, b2);
+                // Exactly `currents[l] + noise[l].sample(rng)`:
+                // Normal::sample computes mean + std_dev·z with mean 0.
+                let current = self.currents[level] + (0.0 + self.sigma[level] * z);
+                let decided = usize::from(current > t0)
+                    + usize::from(current > t1)
+                    + usize::from(current > t2);
+                errors += BIT_ERRORS[level][decided];
+            }
+            remaining -= block;
+        }
+        errors
+    }
+
+    /// MPI batched loop: the beat-phase random walk is inherently serial
+    /// (every symbol's phase feeds the next), so its Box–Muller step always
+    /// runs; the gate — with the worst-case beat amplitude pre-subtracted —
+    /// still skips the noise Box–Muller, the cos(φ) beat evaluation and the
+    /// slicing for the overwhelming majority of symbols.
+    // `!(bound < q)` rather than `>=`: NaN bounds must take the exact path.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    fn run_mpi(&self, symbols: u64, rng: &mut StdRng, mut phase: f64) -> u64 {
+        let [t0, t1, t2] = self.thresholds;
+        let mut errors = 0u64;
+        let mut pending: Vec<(usize, u64, u64, f64)> =
+            Vec::with_capacity(NOISE_BLOCK_SYMBOLS.min(symbols) as usize);
+        let mut remaining = symbols;
+        while remaining > 0 {
+            let block = remaining.min(NOISE_BLOCK_SYMBOLS);
+            pending.clear();
+            for _ in 0..block {
+                let level = rng.random_range(0usize..4);
+                let b1 = rng.next_u64();
+                let b2 = rng.next_u64();
+                // Exactly `phase_step.sample(rng)`: mean + std_dev·z.
+                phase += self.phase_step.mean()
+                    + self.phase_step.std_dev()
+                        * standard_normal_from_bits(rng.next_u64(), rng.next_u64());
+                let bound = self.rmax[(b1 >> 56) as usize] * self.cosmax[(b2 >> 56) as usize];
+                if !(bound < self.qeff_mpi[level]) {
+                    pending.push((level, b1, b2, phase));
+                }
+            }
+            for &(level, b1, b2, sym_phase) in &pending {
+                let z = standard_normal_from_bits(b1, b2);
+                let current = self.currents[level]
+                    + (0.0 + self.sigma[level] * z)
+                    + self.beat_scale[level] * sym_phase.cos();
+                let decided = usize::from(current > t0)
+                    + usize::from(current > t1)
+                    + usize::from(current > t2);
+                errors += BIT_ERRORS[level][decided];
+            }
+            remaining -= block;
+        }
+        errors
+    }
+}
+
+/// The frozen per-symbol Monte-Carlo loop — the behavioral oracle for the
+/// batched kernel in [`McChannel::run`] (DESIGN §6.8).
+///
+/// Kept verbatim from the pre-kernel implementation: one `Normal::sample`
+/// per symbol, straight-line slicing, no gating. Used by the differential
+/// tests and benches only; production paths call [`McChannel::run`].
+pub mod reference {
+    use super::*;
+
+    /// The pre-kernel [`McChannel::run`]: per-symbol sampling, no batching
+    /// or gating. Consumes the identical RNG stream.
+    pub fn run(chan: &McChannel, symbols: u64, rng: &mut StdRng) -> u64 {
+        assert!(symbols > 0, "must simulate at least one symbol");
+        let [t0, t1, t2] = chan.thresholds;
         let mut phase: f64 = rng.random_range(0.0..std::f64::consts::TAU);
         let mut errors = 0u64;
         for _ in 0..symbols {
             let level = rng.random_range(0usize..4);
-            let mut current = self.currents[level] + self.noise[level].sample(rng);
-            if self.has_mpi {
-                phase += self.phase_step.sample(rng);
-                current += self.beat_scale[level] * phase.cos();
+            let mut current = chan.currents[level] + chan.noise[level].sample(rng);
+            if chan.has_mpi {
+                phase += chan.phase_step.sample(rng);
+                current += chan.beat_scale[level] * phase.cos();
             }
             // Slice against the analytic thresholds.
             let decided =
@@ -170,6 +374,30 @@ impl McChannel {
             errors += BIT_ERRORS[level][decided];
         }
         errors
+    }
+
+    /// [`simulate_ber_with_pool`](super::simulate_ber_with_pool) driven by
+    /// the reference loop — identical sharding, seeding and merge order,
+    /// so any fast-vs-reference divergence is the kernel's fault alone.
+    pub fn simulate_ber_with_pool(
+        pool: &Pool,
+        rx: &Pam4Receiver,
+        received: Dbm,
+        mpi_ratio: f64,
+        oim: Option<OimConfig>,
+        symbols: u64,
+        seed: u64,
+    ) -> (McBerResult, RunStats) {
+        assert!(symbols > 0, "must simulate at least one symbol");
+        let chan = McChannel::new(rx, received, mpi_ratio, oim);
+        let (errors, stats) = pool.run_shards(
+            seed,
+            symbols,
+            DEFAULT_SHARD_SYMBOLS,
+            |rng, shard| run(&chan, shard.len, rng),
+            |a, b| a + b,
+        );
+        (McBerResult::from_counts(symbols, errors), stats)
     }
 }
 
@@ -537,5 +765,83 @@ mod tests {
     fn zero_symbols_rejected() {
         let rx = Pam4Receiver::cwdm4_50g();
         let _ = simulate_ber_seeded(&rx, Dbm(-10.0), 0.0, None, 0, 1);
+    }
+
+    #[test]
+    fn batched_kernel_matches_reference_bit_for_bit() {
+        let rx = Pam4Receiver::cwdm4_50g();
+        // Clean, weak-MPI and strong-MPI channels across the fig11 power
+        // range, including symbol counts straddling the noise block size.
+        for &(p, mpi) in &[
+            (-14.0, 0.0),
+            (-13.0, 0.0),
+            (-12.5, mpi_db(-32.0)),
+            (-12.0, mpi_db(-26.0)),
+            (-10.0, 0.0),
+        ] {
+            let chan = McChannel::new(&rx, Dbm(p), mpi, None);
+            for &symbols in &[
+                1u64,
+                NOISE_BLOCK_SYMBOLS - 1,
+                NOISE_BLOCK_SYMBOLS + 17,
+                200_000,
+            ] {
+                let mut rng_fast = StdRng::seed_from_u64(99);
+                let mut rng_ref = StdRng::seed_from_u64(99);
+                let fast = chan.run(symbols, &mut rng_fast);
+                let slow = reference::run(&chan, symbols, &mut rng_ref);
+                assert_eq!(
+                    fast, slow,
+                    "fast/reference divergence at p={p} mpi={mpi} n={symbols}"
+                );
+                // The RNG stream discipline must match exactly too.
+                assert_eq!(
+                    rng_fast.next_u64(),
+                    rng_ref.next_u64(),
+                    "RNG stream position diverged at p={p} mpi={mpi} n={symbols}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_kernel_matches_reference_with_oim() {
+        let rx = Pam4Receiver::cwdm4_50g();
+        let chan = McChannel::new(&rx, Dbm(-12.5), mpi_db(-28.0), Some(OimConfig::default()));
+        let mut rng_fast = StdRng::seed_from_u64(7);
+        let mut rng_ref = StdRng::seed_from_u64(7);
+        assert_eq!(
+            chan.run(150_000, &mut rng_fast),
+            reference::run(&chan, 150_000, &mut rng_ref)
+        );
+    }
+
+    #[test]
+    fn pooled_fast_and_reference_paths_agree() {
+        let rx = Pam4Receiver::cwdm4_50g();
+        for threads in [1, 4] {
+            let pool = Pool::new(threads);
+            let fast = simulate_ber_with_pool(
+                &pool,
+                &rx,
+                Dbm(-12.5),
+                mpi_db(-32.0),
+                None,
+                DEFAULT_SHARD_SYMBOLS + 123,
+                42,
+            )
+            .0;
+            let slow = reference::simulate_ber_with_pool(
+                &pool,
+                &rx,
+                Dbm(-12.5),
+                mpi_db(-32.0),
+                None,
+                DEFAULT_SHARD_SYMBOLS + 123,
+                42,
+            )
+            .0;
+            assert_eq!(fast, slow, "pooled divergence at {threads} threads");
+        }
     }
 }

@@ -56,6 +56,18 @@ impl Normal<f64> {
     }
 }
 
+impl Normal<f64> {
+    /// The distribution mean (matches rand_distr's accessor).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The distribution standard deviation (matches rand_distr's accessor).
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
 impl Distribution<f64> for Normal<f64> {
     fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
         self.mean + self.std_dev * standard_normal(rng)
@@ -65,9 +77,18 @@ impl Distribution<f64> for Normal<f64> {
 /// One standard-normal draw via Box–Muller (cosine branch only, so each
 /// sample consumes exactly two u64s — simple and stream-stable).
 fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    standard_normal_from_bits(rng.next_u64(), rng.next_u64())
+}
+
+/// The exact Box–Muller mapping from two raw u64 draws to one standard
+/// normal. Public so that batched samplers can draw raw bits in blocks and
+/// still land on the identical float every [`Normal::sample`] would have
+/// produced from the same stream position — the single source of truth for
+/// the bits→normal transform.
+pub fn standard_normal_from_bits(b1: u64, b2: u64) -> f64 {
     // u1 in (0, 1] to keep ln() finite.
-    let u1 = 1.0 - unit(rng.next_u64());
-    let u2 = unit(rng.next_u64());
+    let u1 = 1.0 - unit(b1);
+    let u2 = unit(b2);
     (-2.0 * u1.ln()).sqrt() * (TAU * u2).cos()
 }
 

@@ -90,6 +90,46 @@ fn jsonl_telemetry_export_is_byte_identical_across_thread_counts() {
     assert_eq!(one.as_bytes(), four.as_bytes());
 }
 
+/// The batched MC kernel's noise block (PR 9) must be invisible to
+/// results: a symbol count that divides into neither the shard size nor
+/// `NOISE_BLOCK_SYMBOLS` — so every shard ends mid-block and the last
+/// shard is an odd remainder — produces byte-identical results at 1 and
+/// 4 workers, and equals the pre-batching reference loop exactly.
+#[test]
+fn odd_remainder_noise_blocks_are_byte_identical_across_thread_counts() {
+    use lightwave::optics::montecarlo::{reference, NOISE_BLOCK_SYMBOLS};
+    let rx = Pam4Receiver::cwdm4_50g();
+    // 2 full shards + a tail that is itself not a multiple of the noise
+    // block (and smaller than one block would be a degenerate case, so
+    // also cross one block boundary inside the tail).
+    assert_ne!(DEFAULT_SHARD_SYMBOLS % NOISE_BLOCK_SYMBOLS, 1);
+    let symbols = DEFAULT_SHARD_SYMBOLS * 2 + NOISE_BLOCK_SYMBOLS + 1313;
+    let run = |threads: usize| {
+        let pool = Pool::new(threads);
+        simulate_ber_with_pool(&pool, &rx, Dbm(-12.5), mpi_db(-32.0), None, symbols, SEED).0
+    };
+    let one = run(1);
+    let four = run(4);
+    assert_eq!(one, four);
+    assert_eq!(
+        serde_json::to_string(&one).unwrap().as_bytes(),
+        serde_json::to_string(&four).unwrap().as_bytes()
+    );
+    // And both equal the frozen scalar loop, shard for shard.
+    let ref_pool = Pool::new(4);
+    let reference = reference::simulate_ber_with_pool(
+        &ref_pool,
+        &rx,
+        Dbm(-12.5),
+        mpi_db(-32.0),
+        None,
+        symbols,
+        SEED,
+    )
+    .0;
+    assert_eq!(one, reference);
+}
+
 /// `LIGHTWAVE_THREADS` selects the pool width without changing results.
 /// (The only test that touches the env var; explicit pools everywhere else.)
 #[test]
