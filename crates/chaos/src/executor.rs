@@ -16,10 +16,13 @@ use lightwave_ocs::instrument::OcsInstruments;
 use lightwave_ocs::PortId;
 use lightwave_scheduler::alloc::{Allocator, Pooled};
 use lightwave_service::{arrival, Mix, PolicyConfig, ServiceCore, ServiceEvent};
-use lightwave_superpod::instrument::{record_resync, trace_compose, trace_release};
+use lightwave_superpod::instrument::{
+    record_resync, roll_topology_change, trace_compose, trace_release,
+};
 use lightwave_superpod::pod::{SliceHandle, Superpod};
 use lightwave_superpod::slice::{Slice, SliceShape};
 use lightwave_superpod::wiring::SUPERPOD_OCS_COUNT;
+use lightwave_telemetry::rollup::{PortPath, RollupTree};
 use lightwave_telemetry::{AlarmCause, AlarmRecord, FleetHealth, FleetTelemetry, Severity};
 use lightwave_trace::{FlightRecorder, Tracer};
 use lightwave_units::Nanos;
@@ -163,6 +166,12 @@ pub struct World {
     /// Per-fault recovery attribution, in injection order (one entry per
     /// FRU fail/replace/maintenance event).
     pub recoveries: Vec<FaultRecovery>,
+    /// The campus-health rollup tree, fed alongside the flat telemetry
+    /// by every producer the world drives (slice churn, FRU events,
+    /// link relocks). The [`RollupDivergence`](crate::invariant::InvariantKind)
+    /// invariant re-checks its internal consistency — interior node
+    /// totals vs leaf sums — after every event.
+    pub rollup: RollupTree,
     insts: BTreeMap<OcsId, OcsInstruments>,
     cfg: ChaosConfig,
     now: Nanos,
@@ -249,6 +258,7 @@ impl World {
                 preemption: true,
             }),
             recoveries: Vec::new(),
+            rollup: RollupTree::new(),
             insts,
             cfg: ChaosConfig::default(),
             now: Nanos(0),
@@ -301,6 +311,7 @@ impl World {
         match self.pod.compose(slice) {
             Ok((handle, report)) => {
                 trace_compose(&mut self.tracer, None, 0, self.now, cubes as u32, &report);
+                roll_topology_change(&mut self.rollup, 0, self.now, &report);
                 self.slices.push(LiveSlice {
                     handle,
                     slice: geometry,
@@ -320,6 +331,7 @@ impl World {
         match self.pod.release(ls.handle) {
             Ok(report) => {
                 trace_release(&mut self.tracer, None, 0, self.now, cubes, &report);
+                roll_topology_change(&mut self.rollup, 0, self.now, &report);
                 self.slices.remove(i);
                 self.releases += 1;
             }
@@ -362,6 +374,12 @@ impl World {
                 .expect("modeled switch")
                 .apply(self.now, slot, heal);
         }
+        self.rollup.record(
+            "chaos_fru_events",
+            PortPath::new(0, ocs, slot as u32),
+            self.now,
+            1.0,
+        );
         // Anti-entropy: a revived switch reconciles its stale mapping.
         let reports = self.pod.resync();
         record_resync(&mut self.telemetry, 0, self.now, &reports);
@@ -408,6 +426,7 @@ impl World {
                 } => {
                     let cubes = slice.cubes.len() as u32;
                     trace_compose(&mut self.tracer, None, 0, at, cubes, &report);
+                    roll_topology_change(&mut self.rollup, 0, at, &report);
                     self.slices.push(LiveSlice {
                         handle,
                         slice,
@@ -425,6 +444,7 @@ impl World {
                     ..
                 } => {
                     trace_release(&mut self.tracer, None, 0, at, cubes, &report);
+                    roll_topology_change(&mut self.rollup, 0, at, &report);
                     self.slices.retain(|ls| ls.handle != handle);
                     self.releases += 1;
                 }
@@ -438,6 +458,7 @@ impl World {
                         .map(|ls| ls.slice.cubes.len() as u32)
                         .unwrap_or(0);
                     trace_release(&mut self.tracer, None, 0, at, cubes, &report);
+                    roll_topology_change(&mut self.rollup, 0, at, &report);
                     self.slices.retain(|ls| ls.handle != handle);
                     self.releases += 1;
                 }
@@ -477,6 +498,8 @@ impl World {
             switch: ocs,
             cause: AlarmCause::RateFallback { port },
         });
+        self.rollup
+            .record("chaos_relocks", PortPath::new(0, ocs, port), self.now, 1.0);
         // Every relock also feeds the per-switch rate-spike detector; a
         // sustained elevated rate (not one storm instant) trips a trend
         // warning before occurrence-count escalation goes Critical.
@@ -584,6 +607,9 @@ impl World {
             .filter(|(id, sw)| sw.is_up() && !self.pod.desynced().contains(id))
             .map(|(&id, _)| id)
             .collect();
+        // Fold pending rollup samples up the tree so the invariant
+        // library sees a fully-propagated hierarchy after every event.
+        self.rollup.scrape();
     }
 
     fn update_admission(&mut self) {

@@ -42,6 +42,11 @@ pub enum InvariantKind {
     /// in the pod (or in the harness model) — admitted-implies-composed
     /// was broken without a preemption or completion.
     AdmittedWithoutSlice,
+    /// The incremental campus rollup diverged from the flat ground
+    /// truth: some switch/pod/campus node no longer equals the fold of
+    /// its leaves (dirty-set propagation lost or double-counted a
+    /// delta).
+    RollupDivergence,
 }
 
 impl std::fmt::Display for InvariantKind {
@@ -55,6 +60,7 @@ impl std::fmt::Display for InvariantKind {
             InvariantKind::ReleaseRejected => "release-rejected",
             InvariantKind::ServiceConservation => "service-conservation",
             InvariantKind::AdmittedWithoutSlice => "admitted-without-slice",
+            InvariantKind::RollupDivergence => "rollup-divergence",
         };
         f.write_str(s)
     }
@@ -114,6 +120,12 @@ pub fn check_all(w: &World, event_index: u32, event: FaultKind) -> Option<Violat
     }
     if let Some(d) = service_running_backed(w) {
         return Some(mk(InvariantKind::AdmittedWithoutSlice, d));
+    }
+    // Invariant (h): after every event the scraped rollup nodes must
+    // equal a flat re-fold of their leaves — check_consistency
+    // re-derives the expectation from the leaf totals alone.
+    if let Some(d) = w.rollup.check_consistency().err() {
+        return Some(mk(InvariantKind::RollupDivergence, d));
     }
     None
 }

@@ -13,6 +13,8 @@ use crate::realize::MeshPlacement;
 use crate::te::engineer;
 use crate::topology::Mesh;
 use crate::traffic::TrafficMatrix;
+use lightwave_telemetry::rollup::{PortPath, RollupTree};
+use lightwave_units::Nanos;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use rand_distr::{Distribution, Exp};
@@ -63,6 +65,27 @@ impl CampusReport {
         let eng: f64 = self.epochs.iter().map(|e| e.engineered_gbps).sum();
         let stat: f64 = self.epochs.iter().map(|e| e.static_gbps).sum();
         eng / stat.max(1e-9)
+    }
+
+    /// Folds the per-epoch outcomes into the campus rollup tree under
+    /// `pod`: throughput, churn, and preservation samples on the DCN
+    /// pseudo-switch leaf `u32::MAX`, one leaf port per epoch, stamped
+    /// `epoch × epoch_duration` in sim time. This is how the
+    /// cluster-to-cluster TE layer reports through the same
+    /// `campus_health.json` plane as the OCS/service producers.
+    pub fn fold_into_rollup(&self, tree: &mut RollupTree, pod: u32, epoch_duration: Nanos) {
+        let eng = tree.metric("te_engineered_gbps");
+        let stat = tree.metric("te_static_gbps");
+        let moved = tree.metric("te_circuits_moved");
+        let kept = tree.metric("te_circuits_preserved");
+        for e in &self.epochs {
+            let at = Nanos(e.epoch as u64 * epoch_duration.0);
+            let path = PortPath::new(pod, u32::MAX, e.epoch as u32);
+            tree.ingest(eng, path, at, e.engineered_gbps);
+            tree.ingest(stat, path, at, e.static_gbps);
+            tree.ingest(moved, path, at, e.circuits_moved as f64);
+            tree.ingest(kept, path, at, e.circuits_preserved as f64);
+        }
     }
 
     /// Mean fraction of circuits preserved across epochs (excluding the
@@ -263,6 +286,21 @@ mod tests {
         let a = CampusSim::default_campus().run(10, 3);
         let b = CampusSim::default_campus().run(10, 3);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn report_folds_into_the_campus_rollup() {
+        let report = CampusSim::default_campus().run(10, 3);
+        let mut tree = RollupTree::new();
+        report.fold_into_rollup(&mut tree, 2, Nanos::from_secs_f64(60.0));
+        tree.scrape();
+        tree.check_consistency().expect("rollup consistent");
+        let moved = tree.metric("te_circuits_moved");
+        assert_eq!(tree.pod_agg(2, moved).count, 10, "one sample per epoch");
+        let total: usize = report.epochs.iter().map(|e| e.circuits_moved).sum();
+        // Counts quantize exactly (micro-units of integer values).
+        assert_eq!(tree.campus_agg(moved).sum_micros, total as i64 * 1_000_000);
+        assert_eq!(tree.ports(), 10, "one leaf per epoch");
     }
 
     #[test]

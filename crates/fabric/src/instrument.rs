@@ -13,6 +13,7 @@
 use crate::controller::{CommitError, CommitReport, FabricController, FabricTarget};
 use crate::fleet::{OcsFleet, OcsId};
 use lightwave_ocs::instrument::OcsInstruments;
+use lightwave_telemetry::rollup::{PortPath, RollupTree};
 use lightwave_telemetry::{CounterId, EventKind, FleetTelemetry, HistogramId, RateWindow};
 use lightwave_trace::{Lane, SpanId, SpanKind, Tracer};
 use lightwave_units::Nanos;
@@ -190,6 +191,31 @@ impl FabricInstruments {
                 }
                 None => inst.record_reconfig(sink, at, switch_report),
             }
+        }
+    }
+
+    /// Folds a committed transaction into the campus rollup tree: per
+    /// touched switch, the circuits moved (`fabric_commit_moves`) and
+    /// preserved (`fabric_commit_untouched`) at that switch's leaf
+    /// under `pod`, plus the fabric-wide settle time on the pod-level
+    /// pseudo-switch leaf `u32::MAX`.
+    pub fn roll_commit(tree: &mut RollupTree, pod: u32, at: Nanos, report: &CommitReport) {
+        let moves = tree.metric("fabric_commit_moves");
+        let kept = tree.metric("fabric_commit_untouched");
+        for (&id, r) in &report.per_switch {
+            let path = PortPath::new(pod, id, 0);
+            let delta = (r.added.len() + r.removed.len()) as f64;
+            tree.ingest(moves, path, at, delta);
+            tree.ingest(kept, path, at, r.untouched as f64);
+        }
+        if report.added > 0 {
+            let settle = report.traffic_ready_at.saturating_sub(at);
+            tree.record(
+                "fabric_settle_ms",
+                PortPath::new(pod, u32::MAX, 0),
+                at,
+                settle.as_millis_f64(),
+            );
         }
     }
 

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod arrivals;
+pub mod campus;
 pub mod engine;
 pub mod intent;
 pub mod metrics;
@@ -52,6 +53,7 @@ pub mod queue;
 pub mod scope;
 
 pub use arrivals::{arrival, chips_for_cubes, Arrival, Mix, SERVICE_STREAM};
+pub use campus::{run_cell_campus, run_sharded_campus, CampusObserver, POD_SCOPE_SWITCH};
 pub use engine::{
     run_cell, run_cell_scoped, run_sharded, run_sharded_scoped, ServiceConfig, ServiceEngine,
     ADMISSION_SLO_OBJECT, CELL_STREAM,

@@ -11,6 +11,7 @@
 use crate::collective_sim::SimOutcome;
 use lightwave_fabric::{CommitError, CommitReport, OcsId};
 use lightwave_ocs::ReconfigReport;
+use lightwave_telemetry::rollup::{PortPath, RollupTree};
 use lightwave_telemetry::{
     AlarmCause, AlarmRecord, CounterId, EventKind, FleetTelemetry, HistogramId, Severity,
 };
@@ -143,6 +144,23 @@ impl CollectiveInstruments {
         found
     }
 
+    /// Folds one simulated collective into the campus rollup tree: the
+    /// total time (seconds) on this pod's pseudo-switch leaf
+    /// `u32::MAX`, and detected stragglers as `pod_stragglers` samples.
+    pub fn roll_collective(
+        &self,
+        tree: &mut RollupTree,
+        at: Nanos,
+        run: &SimOutcome,
+        stragglers: &[Straggler],
+    ) {
+        let path = PortPath::new(self.pod, u32::MAX, 0);
+        tree.record("pod_collective_s", path, at, run.total);
+        for s in stragglers {
+            tree.record("pod_stragglers", path, at, s.slowdown_pct as f64 / 100.0);
+        }
+    }
+
     /// [`Self::detect_stragglers`] plus an instant mark per flagged
     /// dimension on the pod's timeline lane, so the detection moment is
     /// visible in the Perfetto timeline next to the recovery spans.
@@ -235,6 +253,32 @@ fn trace_topology_change(
     }
     tracer.end(span, report.traffic_ready_at.max(at));
     span
+}
+
+/// Folds a slice composition or release into the campus rollup tree:
+/// one `pod_slice_moves` sample per touched switch (at that switch's
+/// leaf under `pod`), plus a pod-scoped `pod_slice_settle_ms` sample on
+/// pseudo-switch `u32::MAX` when circuits were added. The superpod-side
+/// twin of [`FabricInstruments::roll_commit`] — same tree, same exact
+/// [`Aggregate`](lightwave_telemetry::Aggregate) folds.
+///
+/// [`FabricInstruments::roll_commit`]:
+///     lightwave_fabric::instrument::FabricInstruments::roll_commit
+pub fn roll_topology_change(tree: &mut RollupTree, pod: u32, at: Nanos, report: &CommitReport) {
+    let moves = tree.metric("pod_slice_moves");
+    for (&switch, sw) in &report.per_switch {
+        let delta = (sw.added.len() + sw.removed.len()) as f64;
+        tree.ingest(moves, PortPath::new(pod, switch, 0), at, delta);
+    }
+    if report.added > 0 {
+        let settle = report.traffic_ready_at.saturating_sub(at);
+        tree.record(
+            "pod_slice_settle_ms",
+            PortPath::new(pod, u32::MAX, 0),
+            at,
+            settle.as_millis_f64(),
+        );
+    }
 }
 
 /// Records one [`Superpod::resync`](crate::Superpod::resync) pass into

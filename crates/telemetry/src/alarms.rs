@@ -89,6 +89,12 @@ pub enum TrendSignal {
     LossDrift,
     /// Sustained transceiver relock/fallback rate on one switch.
     RelockRate,
+    /// Multi-window SLO error-budget burn (fast **and** slow window
+    /// both over the paging threshold — see
+    /// [`crate::slo::BurnRateLedger`]). The alarm's `switch` field
+    /// carries the pod id, or [`crate::slo::CAMPUS_ALARM_SWITCH`] for
+    /// the campus-wide ledger.
+    ErrorBudgetBurn,
 }
 
 /// Correlation class of a cause: incidents are keyed per (switch, class).
@@ -322,7 +328,13 @@ impl AlarmAggregator {
                 if inc.severity == Severity::Critical && before != Severity::Critical {
                     return IngestOutcome::Escalated { incident: inc.id };
                 }
-                if inc.occurrences >= self.config.escalate_after
+                // Trend incidents are predictive early warnings with
+                // non-escalating semantics: a repeating trend signal
+                // (burn-rate re-checks, detector re-trips) coalesces
+                // but never storms its way to Critical — only a raised
+                // severity on the record itself can lift it (above).
+                if class != CauseClass::Trend
+                    && inc.occurrences >= self.config.escalate_after
                     && inc.severity.is_worse_than(Severity::Info)
                     && inc.severity != Severity::Critical
                 {
@@ -459,6 +471,38 @@ mod tests {
         let inc = &agg.incidents()[0];
         assert_eq!(inc.correlated, 48);
         assert_eq!(inc.class, CauseClass::Fru);
+    }
+
+    #[test]
+    fn trend_repeats_coalesce_without_escalating() {
+        // A burn-rate ledger re-checks every poll while the condition
+        // holds, so a sustained burn produces a storm of identical
+        // Trend records. They must coalesce into the one open page and
+        // never occurrence-escalate to Critical: a trend is the early
+        // warning itself, not a worsening hard failure.
+        let mut agg = AlarmAggregator::new();
+        let trend = AlarmCause::TrendAnomaly {
+            signal: TrendSignal::ErrorBudgetBurn,
+            port: 0,
+        };
+        let first = agg.ingest(rec(0, Severity::Warning, 2, trend.clone()));
+        assert!(matches!(first, IngestOutcome::Paged { .. }));
+        for i in 0..100u64 {
+            let out = agg.ingest(rec(1 + i, Severity::Warning, 2, trend.clone()));
+            assert!(
+                matches!(out, IngestOutcome::Coalesced { .. }),
+                "repeat {i} must coalesce, got {out:?}"
+            );
+        }
+        let inc = &agg.incidents()[0];
+        assert_eq!(inc.class, CauseClass::Trend);
+        assert_eq!(inc.occurrences, 101);
+        assert_eq!(inc.severity, Severity::Warning, "no occurrence escalation");
+        // The never-drop-Critical rule still applies: a genuinely
+        // Critical trend record lifts the incident and reports it.
+        let out = agg.ingest(rec(200, Severity::Critical, 2, trend));
+        assert!(matches!(out, IngestOutcome::Escalated { .. }));
+        assert_eq!(agg.incidents()[0].severity, Severity::Critical);
     }
 
     #[test]

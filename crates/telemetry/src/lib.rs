@@ -25,6 +25,9 @@
 //! - [`export`] — a text dashboard and a JSON-lines serializer.
 //! - [`timeseries`] — bounded multi-resolution metric history whose
 //!   downsample aggregates merge *exactly* in any order.
+//! - [`rollup`] — the campus observability plane: a dirty-set
+//!   incremental port → switch → pod → campus aggregation tree and the
+//!   versioned queryable `campus_health.json` snapshot.
 //! - [`detect`] — O(1)-per-sample streaming detectors (EWMA drift,
 //!   CUSUM change-point, windowed rate-spike), pure integer state.
 //! - [`health`] — the analytics tier: detector banks over port drift
@@ -81,6 +84,7 @@ pub mod fleet;
 pub mod health;
 pub mod histogram;
 pub mod metrics;
+pub mod rollup;
 pub mod severity;
 pub mod slo;
 pub mod timeseries;
@@ -102,8 +106,15 @@ pub use histogram::{HistogramSnapshot, LogHistogram};
 pub use metrics::{
     CounterId, GaugeId, HistogramId, MetricKey, MetricSample, MetricsRegistry, RateWindow,
 };
+pub use rollup::{
+    CampusHealthDoc, MetricCell, NodeHealth, PodRow, PortPath, RollupMetric, RollupTree, SwitchRow,
+    CAMPUS_HEALTH_FORMAT,
+};
 pub use severity::Severity;
-pub use slo::{ObjectSlo, SloReport, SloTracker, OCS_AVAILABILITY_TARGET};
+pub use slo::{
+    BurnConfig, BurnRateLedger, BurnReport, BurnStatus, ObjectSlo, SloReport, SloTracker,
+    CAMPUS_ALARM_SWITCH, OCS_AVAILABILITY_TARGET, OCS_ERROR_BUDGET_PPM,
+};
 pub use timeseries::{
     Aggregate, CounterSample, CounterTrack, Sample, SeriesConfig, SeriesId, SeriesStore, TimeSeries,
 };

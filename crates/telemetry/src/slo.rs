@@ -8,12 +8,24 @@
 //! against the target — the quantity an operator actually plans
 //! maintenance around.
 
+use crate::alarms::{AlarmCause, AlarmRecord, TrendSignal};
+use crate::fleet::FleetTelemetry;
+use crate::severity::Severity;
+use crate::timeseries::SeriesStore;
 use lightwave_units::Nanos;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 /// The paper's OCS availability target (§4.1.1).
 pub const OCS_AVAILABILITY_TARGET: f64 = 0.9998;
+
+/// The 99.98% target as an error budget in parts-per-million of time —
+/// the integer form every burn-rate quantity is derived from.
+pub const OCS_ERROR_BUDGET_PPM: u64 = 200;
+
+/// Pseudo-switch id burn-rate alarms use for the campus-wide object
+/// (per-pod alarms use the pod id).
+pub const CAMPUS_ALARM_SWITCH: u32 = u32::MAX;
 
 #[derive(Debug, Clone)]
 struct ObjectState {
@@ -188,6 +200,432 @@ impl SloTracker {
     }
 }
 
+/// Multi-window burn-rate policy (all quantities integer, sim-time).
+///
+/// The Google-SRE shape: an alert fires only when **both** a fast and a
+/// slow window burn the error budget faster than `page_burn_milli`
+/// (burn rate ×1000) — the fast window makes the alert responsive, the
+/// slow window keeps one transient blip from paging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BurnConfig {
+    /// Error budget as parts-per-million of time (200 = 99.98%).
+    pub budget_ppm: u64,
+    /// Fast alert window.
+    pub fast_window: Nanos,
+    /// Slow alert window.
+    pub slow_window: Nanos,
+    /// Paging threshold: burn rate ×1000 that both windows must exceed.
+    pub page_burn_milli: u64,
+}
+
+impl Default for BurnConfig {
+    fn default() -> BurnConfig {
+        BurnConfig {
+            budget_ppm: OCS_ERROR_BUDGET_PPM,
+            fast_window: Nanos::from_secs_f64(300.0),
+            slow_window: Nanos::from_secs_f64(3_600.0),
+            page_burn_milli: 10_000, // 10x budget burn
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct BurnState {
+    first_seen: Nanos,
+    up: bool,
+    since: Nanos,
+    /// Total downtime over closed intervals.
+    spent: Nanos,
+    /// Closed down intervals `(start, end)`, oldest first, trimmed to
+    /// the slow window at assess time (bounded memory).
+    intervals: VecDeque<(Nanos, Nanos)>,
+    /// Sticky page latch: set while the multi-window condition holds,
+    /// so one breach episode pages exactly once.
+    alerting: bool,
+}
+
+/// One object's burn-rate assessment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BurnStatus {
+    /// Object name (`pod-<id>` or `campus`).
+    pub object: String,
+    /// Pod id (`None` for the campus row).
+    pub pod: Option<u32>,
+    /// Fast-window burn rate ×1000 (1000 = exactly budget pace).
+    pub fast_burn_milli: u64,
+    /// Slow-window burn rate ×1000.
+    pub slow_burn_milli: u64,
+    /// Downtime the budget allows over the observed window, nanos.
+    pub budget_nanos: u64,
+    /// Downtime spent, nanos.
+    pub spent_nanos: u64,
+    /// Budget remaining ×1000 of the allowance, clamped to `[0, 1000]`.
+    pub remaining_milli: u64,
+    /// Whether the paired-window page condition currently holds.
+    pub alerting: bool,
+}
+
+/// The campus burn-rate / error-budget assessment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BurnReport {
+    /// Error budget in ppm of time.
+    pub budget_ppm: u64,
+    /// Fast alert window.
+    pub fast_window: Nanos,
+    /// Slow alert window.
+    pub slow_window: Nanos,
+    /// Paging threshold (burn ×1000).
+    pub page_burn_milli: u64,
+    /// Per-pod rows, pod-sorted.
+    pub pods: Vec<BurnStatus>,
+    /// The campus-wide ledger row (sums of the pod ledgers).
+    pub campus: BurnStatus,
+    /// Pods currently in the paging condition.
+    pub alerting: usize,
+}
+
+impl BurnReport {
+    /// An empty report under `cfg` (no pods observed yet).
+    pub fn empty(cfg: &BurnConfig) -> BurnReport {
+        BurnReport {
+            budget_ppm: cfg.budget_ppm,
+            fast_window: cfg.fast_window,
+            slow_window: cfg.slow_window,
+            page_burn_milli: cfg.page_burn_milli,
+            pods: Vec::new(),
+            campus: BurnStatus {
+                object: "campus".to_string(),
+                pod: None,
+                fast_burn_milli: 0,
+                slow_burn_milli: 0,
+                budget_nanos: 0,
+                spent_nanos: 0,
+                remaining_milli: 1000,
+                alerting: false,
+            },
+            alerting: 0,
+        }
+    }
+}
+
+/// Multi-window burn-rate tracking with an error-budget ledger per pod
+/// and campus-wide.
+///
+/// Feeds on the same up/down transitions as [`SloTracker`], but keeps
+/// enough (bounded) interval history to answer *windowed* downtime —
+/// the quantity burn rates are defined over. Every derived number is
+/// integer arithmetic on [`Nanos`], so reports and the alarms raised
+/// through [`BurnRateLedger::poll`] are byte-identical at any worker
+/// count, and ledgers for disjoint pod sets merge exactly.
+#[derive(Debug, Clone)]
+pub struct BurnRateLedger {
+    cfg: BurnConfig,
+    pods: BTreeMap<u32, BurnState>,
+}
+
+impl Default for BurnRateLedger {
+    fn default() -> BurnRateLedger {
+        BurnRateLedger::new(BurnConfig::default())
+    }
+}
+
+impl BurnRateLedger {
+    /// A ledger under an explicit policy.
+    pub fn new(cfg: BurnConfig) -> BurnRateLedger {
+        assert!(cfg.budget_ppm > 0, "zero error budget never pages sanely");
+        assert!(cfg.fast_window.0 > 0 && cfg.slow_window.0 >= cfg.fast_window.0);
+        BurnRateLedger {
+            cfg,
+            pods: BTreeMap::new(),
+        }
+    }
+
+    /// The active policy.
+    pub fn config(&self) -> &BurnConfig {
+        &self.cfg
+    }
+
+    /// Records that `pod` is `up`/down as of sim time `at`. First
+    /// observation opens the pod's window; same-state repeats are
+    /// idempotent (the [`SloTracker::observe`] contract).
+    pub fn observe(&mut self, at: Nanos, pod: u32, up: bool) {
+        match self.pods.get_mut(&pod) {
+            None => {
+                self.pods.insert(
+                    pod,
+                    BurnState {
+                        first_seen: at,
+                        up,
+                        since: at,
+                        spent: Nanos(0),
+                        intervals: VecDeque::new(),
+                        alerting: false,
+                    },
+                );
+            }
+            Some(s) => {
+                if s.up == up {
+                    return;
+                }
+                if !s.up {
+                    s.spent += at.saturating_sub(s.since);
+                    s.intervals.push_back((s.since, at));
+                }
+                s.up = up;
+                s.since = at;
+            }
+        }
+    }
+
+    /// Pods tracked (the reserved campus-latch slot excluded).
+    pub fn len(&self) -> usize {
+        self.pods
+            .keys()
+            .filter(|&&p| p != CAMPUS_ALARM_SWITCH)
+            .count()
+    }
+
+    /// True when nothing is tracked yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Downtime of `s` inside `[now - window, now]`.
+    fn windowed_downtime(s: &BurnState, now: Nanos, window: Nanos) -> Nanos {
+        let lo = now.saturating_sub(window);
+        let mut down = 0u64;
+        for &(start, end) in &s.intervals {
+            let a = start.max(lo);
+            let b = end.min(now);
+            down += b.saturating_sub(a).0;
+        }
+        if !s.up {
+            let a = s.since.max(lo);
+            down += now.saturating_sub(a).0;
+        }
+        Nanos(down)
+    }
+
+    /// Burn rate ×1000: windowed downtime against the budget's pace.
+    fn burn_milli(cfg: BurnConfig, down: Nanos, window: Nanos) -> u64 {
+        // burn = (down / window) / (budget_ppm / 1e6); ×1000 for milli.
+        let num = down.0 as u128 * 1_000_000_000u128;
+        let den = window.0 as u128 * cfg.budget_ppm as u128;
+        (num / den.max(1)) as u64
+    }
+
+    fn status(&self, pod: u32, s: &BurnState, now: Nanos) -> BurnStatus {
+        let fast = Self::windowed_downtime(s, now, self.cfg.fast_window);
+        let slow = Self::windowed_downtime(s, now, self.cfg.slow_window);
+        let observed = now.saturating_sub(s.first_seen);
+        let spent = s.spent.0
+            + if s.up {
+                0
+            } else {
+                now.saturating_sub(s.since).0
+            };
+        let budget = (observed.0 as u128 * self.cfg.budget_ppm as u128 / 1_000_000) as u64;
+        BurnStatus {
+            object: format!("pod-{pod}"),
+            pod: Some(pod),
+            fast_burn_milli: Self::burn_milli(self.cfg, fast, self.cfg.fast_window),
+            slow_burn_milli: Self::burn_milli(self.cfg, slow, self.cfg.slow_window),
+            budget_nanos: budget,
+            spent_nanos: spent,
+            remaining_milli: remaining_milli(budget, spent),
+            alerting: s.alerting,
+        }
+    }
+
+    /// Assesses every pod and the campus sum as of sim time `now`.
+    pub fn assess(&self, now: Nanos) -> BurnReport {
+        let mut report = BurnReport::empty(&self.cfg);
+        let mut fast_down = Nanos(0);
+        let mut slow_down = Nanos(0);
+        for (&pod, s) in &self.pods {
+            if pod == CAMPUS_ALARM_SWITCH {
+                continue; // the reserved campus-latch slot, not a pod
+            }
+            fast_down += Self::windowed_downtime(s, now, self.cfg.fast_window);
+            slow_down += Self::windowed_downtime(s, now, self.cfg.slow_window);
+            report.pods.push(self.status(pod, s, now));
+        }
+        let n = report.pods.len().max(1) as u64;
+        let campus_budget: u64 = report.pods.iter().map(|p| p.budget_nanos).sum();
+        let campus_spent: u64 = report.pods.iter().map(|p| p.spent_nanos).sum();
+        // Campus burn is pod-count-normalized: the campus window is
+        // n pods × the wall window, so one pod down at exactly budget
+        // pace reads the same burn at both levels divided by fleet size.
+        report.campus = BurnStatus {
+            object: "campus".to_string(),
+            pod: None,
+            fast_burn_milli: Self::burn_milli(
+                self.cfg,
+                fast_down,
+                Nanos(self.cfg.fast_window.0 * n),
+            ),
+            slow_burn_milli: Self::burn_milli(
+                self.cfg,
+                slow_down,
+                Nanos(self.cfg.slow_window.0 * n),
+            ),
+            budget_nanos: campus_budget,
+            spent_nanos: campus_spent,
+            remaining_milli: remaining_milli(campus_budget, campus_spent),
+            alerting: report.campus.alerting,
+        };
+        report.campus.alerting = report.campus.fast_burn_milli >= self.cfg.page_burn_milli
+            && report.campus.slow_burn_milli >= self.cfg.page_burn_milli;
+        report.alerting = report.pods.iter().filter(|p| p.alerting).count();
+        report
+    }
+
+    /// Evaluates the paired-window page condition for every pod and the
+    /// campus, raising a Warning [`TrendSignal::ErrorBudgetBurn`] alarm
+    /// through `sink` on each **rising edge** (the sticky latch clears
+    /// when the condition lapses, so a sustained breach pages once).
+    /// Trend-class incidents never auto-escalate ([`crate::alarms`]).
+    /// Also trims interval history outside the slow window. Returns the
+    /// pods that newly entered the paging condition
+    /// ([`CAMPUS_ALARM_SWITCH`] stands for the campus object).
+    pub fn poll(&mut self, sink: &mut FleetTelemetry, now: Nanos) -> Vec<u32> {
+        let lo = now.saturating_sub(self.cfg.slow_window);
+        let mut fired = Vec::new();
+        let mut campus_fast = Nanos(0);
+        let mut campus_slow = Nanos(0);
+        let mut observed_pods = 0u64;
+        for (&pod, s) in &mut self.pods {
+            if pod == CAMPUS_ALARM_SWITCH {
+                continue; // the reserved campus-latch slot, not a pod
+            }
+            observed_pods += 1;
+            while s.intervals.front().is_some_and(|&(_, end)| end < lo) {
+                s.intervals.pop_front();
+            }
+            let fast = Self::windowed_downtime(s, now, self.cfg.fast_window);
+            let slow = Self::windowed_downtime(s, now, self.cfg.slow_window);
+            campus_fast += fast;
+            campus_slow += slow;
+            let firing =
+                self.cfg.page_burn_milli
+                    <= Self::burn_milli(self.cfg, fast, self.cfg.fast_window)
+                        .min(Self::burn_milli(self.cfg, slow, self.cfg.slow_window));
+            if firing && !s.alerting {
+                fired.push(pod);
+                sink.ingest_alarm(AlarmRecord {
+                    at: now,
+                    severity: Severity::Warning,
+                    switch: pod,
+                    cause: AlarmCause::TrendAnomaly {
+                        signal: TrendSignal::ErrorBudgetBurn,
+                        port: 0,
+                    },
+                });
+            }
+            s.alerting = firing;
+        }
+        let n = observed_pods.max(1);
+        let campus_firing = self.cfg.page_burn_milli
+            <= Self::burn_milli(self.cfg, campus_fast, Nanos(self.cfg.fast_window.0 * n)).min(
+                Self::burn_milli(self.cfg, campus_slow, Nanos(self.cfg.slow_window.0 * n)),
+            );
+        if campus_firing && !self.campus_latch() {
+            fired.push(CAMPUS_ALARM_SWITCH);
+            sink.ingest_alarm(AlarmRecord {
+                at: now,
+                severity: Severity::Warning,
+                switch: CAMPUS_ALARM_SWITCH,
+                cause: AlarmCause::TrendAnomaly {
+                    signal: TrendSignal::ErrorBudgetBurn,
+                    port: 0,
+                },
+            });
+        }
+        self.set_campus_latch(campus_firing);
+        fired
+    }
+
+    // The campus latch rides on a reserved pod slot so merge stays a
+    // plain map union; it is never reported as a pod.
+    fn campus_latch(&self) -> bool {
+        self.pods
+            .get(&CAMPUS_ALARM_SWITCH)
+            .map(|s| s.alerting)
+            .unwrap_or(false)
+    }
+
+    fn set_campus_latch(&mut self, firing: bool) {
+        if let Some(s) = self.pods.get_mut(&CAMPUS_ALARM_SWITCH) {
+            s.alerting = firing;
+        } else if firing {
+            self.pods.insert(
+                CAMPUS_ALARM_SWITCH,
+                BurnState {
+                    first_seen: Nanos(0),
+                    up: true,
+                    since: Nanos(0),
+                    spent: Nanos(0),
+                    intervals: VecDeque::new(),
+                    alerting: true,
+                },
+            );
+        }
+    }
+
+    /// Pushes burn-rate and budget-remaining samples for the campus and
+    /// every pod into `store` — the series export
+    /// [`SeriesStore::tracks`] turns into Perfetto `ph:"C"` counter
+    /// tracks (`slo_burn_fast_milli`, `slo_budget_remaining_milli`).
+    pub fn record_series(&self, store: &mut SeriesStore, now: Nanos) {
+        let report = self.assess(now);
+        let mut rows: Vec<(&BurnStatus, String)> = vec![(&report.campus, "campus".to_string())];
+        for p in &report.pods {
+            rows.push((p, p.object.clone()));
+        }
+        for (status, scope) in rows {
+            let labels: &[(&str, &str)] = &[("scope", &scope)];
+            let burn = store.series("slo_burn_fast_milli", labels);
+            store.push_micros(burn, now, status.fast_burn_milli as i64);
+            let slow = store.series("slo_burn_slow_milli", labels);
+            store.push_micros(slow, now, status.slow_burn_milli as i64);
+            let rem = store.series("slo_budget_remaining_milli", labels);
+            store.push_micros(rem, now, status.remaining_milli as i64);
+        }
+    }
+
+    /// Merges another ledger (consuming it). Exact when the pod sets
+    /// are disjoint — the sharded-cell case, where each cell owns its
+    /// pod ids; on overlap the interval histories concatenate and
+    /// spent/first-seen fold, which is exact for sequential episodes.
+    pub fn merge(&mut self, other: BurnRateLedger) {
+        for (pod, s) in other.pods {
+            match self.pods.get_mut(&pod) {
+                None => {
+                    self.pods.insert(pod, s);
+                }
+                Some(mine) => {
+                    mine.first_seen = mine.first_seen.min(s.first_seen);
+                    mine.spent += s.spent;
+                    mine.intervals.extend(s.intervals);
+                    if s.since > mine.since {
+                        mine.up = s.up;
+                        mine.since = s.since;
+                    }
+                    mine.alerting |= s.alerting;
+                }
+            }
+        }
+    }
+}
+
+/// Budget remaining ×1000 of the allowance, clamped to `[0, 1000]`.
+fn remaining_milli(budget: u64, spent: u64) -> u64 {
+    if budget == 0 {
+        return if spent == 0 { 1000 } else { 0 };
+    }
+    (budget.saturating_sub(spent) as u128 * 1000 / budget as u128) as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,5 +696,137 @@ mod tests {
         let r = t.report(s(20.0));
         assert_eq!(r.objects[0].downtime, s(10.0));
         assert_eq!(r.objects[0].transitions, 1);
+    }
+
+    #[test]
+    fn burn_rate_is_windowed_and_integer_exact() {
+        let mut l = BurnRateLedger::default();
+        l.observe(s(0.0), 0, true);
+        // 3 s outage well inside both windows.
+        l.observe(s(100.0), 0, false);
+        l.observe(s(103.0), 0, true);
+        let r = l.assess(s(200.0));
+        let p = &r.pods[0];
+        // fast: 3 s / 300 s = 1% downtime = 50x the 200 ppm budget.
+        assert_eq!(p.fast_burn_milli, 50_000);
+        // slow: 3 s / 3600 s over a 200 ppm budget ≈ 4.166x pace.
+        assert_eq!(p.slow_burn_milli, 4_166);
+        assert_eq!(p.spent_nanos, s(3.0).0);
+        // After the fast window slides past the outage, fast burn is 0
+        // but the ledger still remembers the spend.
+        let later = l.assess(s(500.0));
+        assert_eq!(later.pods[0].fast_burn_milli, 0);
+        assert_eq!(later.pods[0].spent_nanos, s(3.0).0);
+        assert!(later.pods[0].slow_burn_milli > 0);
+    }
+
+    #[test]
+    fn paired_windows_gate_the_page_and_latch_fires_once() {
+        let mut sink = crate::fleet::FleetTelemetry::new();
+        // Tight windows so a test-sized outage trips both.
+        let mut l = BurnRateLedger::new(BurnConfig {
+            budget_ppm: 200,
+            fast_window: s(10.0),
+            slow_window: s(100.0),
+            page_burn_milli: 10_000,
+        });
+        l.observe(s(0.0), 3, true);
+        assert!(l.poll(&mut sink, s(5.0)).is_empty(), "clean pod: no page");
+        // 1 s outage: fast burn 1/10/200ppm = 500x, slow burn 50x — both
+        // over the 10x threshold.
+        l.observe(s(50.0), 3, false);
+        l.observe(s(51.0), 3, true);
+        let fired = l.poll(&mut sink, s(52.0));
+        assert!(fired.contains(&3), "pod 3 pages");
+        assert!(
+            fired.contains(&CAMPUS_ALARM_SWITCH),
+            "single-pod campus follows"
+        );
+        let pages = sink.alarms.pages();
+        // Condition still holds: the latch suppresses a second page.
+        assert!(l.poll(&mut sink, s(53.0)).is_empty());
+        assert_eq!(sink.alarms.pages(), pages);
+        // Condition lapses (fast window slides clear), then a new
+        // breach pages again.
+        assert!(l.poll(&mut sink, s(70.0)).is_empty());
+        assert!(!l.assess(s(70.0)).pods[0].alerting);
+        l.observe(s(80.0), 3, false);
+        l.observe(s(81.0), 3, true);
+        assert!(l.poll(&mut sink, s(82.0)).contains(&3));
+    }
+
+    #[test]
+    fn slow_window_vetoes_a_transient_blip() {
+        let mut sink = crate::fleet::FleetTelemetry::new();
+        let mut l = BurnRateLedger::new(BurnConfig {
+            budget_ppm: 200,
+            fast_window: s(10.0),
+            slow_window: s(10_000.0),
+            page_burn_milli: 10_000,
+        });
+        l.observe(s(0.0), 0, true);
+        // 0.5 s blip: fast burn 250x (pages on its own), slow burn
+        // 0.5/10000/200ppm = 0.25x — under threshold, so no page.
+        l.observe(s(5_000.0), 0, false);
+        l.observe(s(5_000.5), 0, true);
+        assert!(l.poll(&mut sink, s(5_001.0)).is_empty());
+        assert_eq!(sink.alarms.pages(), 0);
+    }
+
+    #[test]
+    fn ledger_merge_of_disjoint_pods_is_exact() {
+        let outage = |l: &mut BurnRateLedger, pod: u32, from: f64, to: f64| {
+            l.observe(s(0.0), pod, true);
+            l.observe(s(from), pod, false);
+            l.observe(s(to), pod, true);
+        };
+        let mut whole = BurnRateLedger::default();
+        outage(&mut whole, 0, 100.0, 103.0);
+        outage(&mut whole, 1, 200.0, 210.0);
+        let mut a = BurnRateLedger::default();
+        outage(&mut a, 0, 100.0, 103.0);
+        let mut b = BurnRateLedger::default();
+        outage(&mut b, 1, 200.0, 210.0);
+        a.merge(b);
+        assert_eq!(whole.assess(s(400.0)), a.assess(s(400.0)));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn budget_ledger_sums_to_campus() {
+        let mut l = BurnRateLedger::default();
+        l.observe(s(0.0), 0, true);
+        l.observe(s(0.0), 1, true);
+        l.observe(s(10.0), 1, false);
+        l.observe(s(12.0), 1, true);
+        let r = l.assess(s(1_000.0));
+        assert_eq!(
+            r.campus.spent_nanos,
+            r.pods.iter().map(|p| p.spent_nanos).sum::<u64>()
+        );
+        assert_eq!(
+            r.campus.budget_nanos,
+            r.pods.iter().map(|p| p.budget_nanos).sum::<u64>()
+        );
+        assert!(r.pods[0].remaining_milli == 1000);
+        assert!(r.pods[1].remaining_milli < 1000);
+    }
+
+    #[test]
+    fn burn_series_export_covers_campus_and_pods() {
+        let mut l = BurnRateLedger::default();
+        l.observe(s(0.0), 0, true);
+        l.observe(s(0.0), 7, true);
+        let mut store = crate::timeseries::SeriesStore::default();
+        l.record_series(&mut store, s(60.0));
+        let tracks = store.tracks();
+        // 3 series × (campus + 2 pods).
+        assert_eq!(tracks.len(), 9);
+        assert!(tracks
+            .iter()
+            .any(|t| t.name == "slo_budget_remaining_milli{scope=campus}"));
+        assert!(tracks
+            .iter()
+            .any(|t| t.name == "slo_burn_fast_milli{scope=pod-7}"));
     }
 }

@@ -262,6 +262,13 @@ pub struct SeriesStore {
     cfg: SeriesConfig,
     series: Vec<TimeSeries>,
     index: BTreeMap<MetricKey, usize>,
+    /// `switch` label value → the series carrying it, keyed by full
+    /// identity so lookups stay name-sorted. Maintained in [`series`]
+    /// (the only place a series is minted), so a per-switch slice is
+    /// O(that switch's series) instead of a scan of every series.
+    ///
+    /// [`series`]: SeriesStore::series
+    switch_index: BTreeMap<String, BTreeMap<MetricKey, usize>>,
 }
 
 impl Default for SeriesStore {
@@ -277,6 +284,7 @@ impl SeriesStore {
             cfg,
             series: Vec::new(),
             index: BTreeMap::new(),
+            switch_index: BTreeMap::new(),
         }
     }
 
@@ -288,6 +296,12 @@ impl SeriesStore {
         }
         let i = self.series.len();
         self.series.push(TimeSeries::new(self.cfg));
+        if let Some((_, sw)) = key.labels.iter().find(|(k, _)| k == "switch") {
+            self.switch_index
+                .entry(sw.clone())
+                .or_default()
+                .insert(key.clone(), i);
+        }
         self.index.insert(key, i);
         SeriesId(i)
     }
@@ -327,12 +341,14 @@ impl SeriesStore {
     /// postmortem embeds. Deterministic: series in name-sorted order,
     /// samples oldest first.
     pub fn recent_for_switch(&self, switch: u32, per_series: usize) -> Vec<CounterSample> {
-        let want = switch.to_string();
         let mut out = Vec::new();
-        for (key, ts) in self.iter() {
-            if !key.labels.iter().any(|(k, v)| k == "switch" && *v == want) {
-                continue;
-            }
+        let Some(members) = self.switch_index.get(switch.to_string().as_str()) else {
+            return out;
+        };
+        // The inner map is keyed by full MetricKey, so iteration is
+        // already the name-sorted order the flat scan produced.
+        for (key, &i) in members {
+            let ts = &self.series[i];
             let n = ts.raw.len();
             for s in ts.raw.iter().skip(n.saturating_sub(per_series)) {
                 out.push(CounterSample {
@@ -423,6 +439,69 @@ mod tests {
         assert_eq!(three[0].value_micros, quantize(0.25));
         assert!(store.recent_for_switch(7, 8).is_empty());
         assert_eq!(store.tracks().len(), 2);
+    }
+
+    /// The pre-index implementation of `recent_for_switch`, kept as the
+    /// oracle: an O(all-series) scan in name-sorted order.
+    fn recent_by_flat_scan(
+        store: &SeriesStore,
+        switch: u32,
+        per_series: usize,
+    ) -> Vec<CounterSample> {
+        let want = switch.to_string();
+        let mut out = Vec::new();
+        for (key, ts) in store.iter() {
+            if !key.labels.iter().any(|(k, v)| k == "switch" && *v == want) {
+                continue;
+            }
+            let n = ts.raw.len();
+            for s in ts.raw.iter().skip(n.saturating_sub(per_series)) {
+                out.push(CounterSample {
+                    series: key.to_string(),
+                    at: s.at,
+                    value_micros: s.value_micros,
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn switch_index_matches_the_flat_scan_exactly() {
+        // A mixed registry: per-switch series interleaved with
+        // unlabeled and differently-labeled ones, registered out of
+        // name order so the index has to do the sorting.
+        let mut store = SeriesStore::default();
+        let mut ids = Vec::new();
+        for sw in [7u32, 3, 5] {
+            for name in ["z_relocks", "a_drift_db", "m_commits"] {
+                let sv = sw.to_string();
+                for port in 0..4u32 {
+                    let pv = port.to_string();
+                    ids.push(store.series(name, &[("switch", &sv), ("port", &pv)]));
+                }
+            }
+        }
+        ids.push(store.series("global_epoch", &[]));
+        ids.push(store.series("pod_util", &[("pod", "1")]));
+        let mut state = 0x51D3u64;
+        for step in 0..600u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let id = ids[(state >> 33) as usize % ids.len()];
+            store.push_micros(id, Nanos(step * 11), (state >> 40) as i64);
+        }
+        for sw in [3u32, 5, 7, 9] {
+            for per in [1usize, 4, 1000] {
+                assert_eq!(
+                    store.recent_for_switch(sw, per),
+                    recent_by_flat_scan(&store, sw, per),
+                    "switch {sw} per_series {per}"
+                );
+            }
+        }
+        assert!(store.recent_for_switch(9, 8).is_empty());
     }
 
     fn agg_of(samples: &[Sample]) -> Aggregate {
